@@ -1,0 +1,165 @@
+//! Lagged cross-correlation — quantifying the paper's §6.1 observation
+//! that "there is a clear lag in the decisions made by BOLA and the actual
+//! 5G throughput performance".
+//!
+//! [`cross_correlation`] computes the Pearson correlation between `x(t)`
+//! and `y(t + lag)` over a window of lags; [`peak_lag`] finds the lag
+//! where the two series align best. Applied to (channel capacity, chosen
+//! bitrate) it measures how far the ABR's decisions trail the channel.
+
+use crate::stats::pearson;
+use serde::{Deserialize, Serialize};
+
+/// One point of a cross-correlogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LagCorrelation {
+    /// Lag in samples: positive means `y` trails `x` by this many samples.
+    pub lag: i64,
+    /// Pearson correlation of the overlapped segments.
+    pub r: f64,
+}
+
+/// Cross-correlation of `x` against `y` for lags in `[-max_lag, max_lag]`.
+///
+/// For a positive lag `k`, correlates `x[0..n-k]` with `y[k..n]` — high
+/// `r` at positive `k` means `y` *follows* `x` by `k` samples. Lags whose
+/// overlap is shorter than 4 samples (or degenerate) are skipped.
+pub fn cross_correlation(x: &[f64], y: &[f64], max_lag: usize) -> Vec<LagCorrelation> {
+    let n = x.len().min(y.len());
+    let mut out = Vec::new();
+    let max_lag = max_lag.min(n.saturating_sub(4)) as i64;
+    for lag in -max_lag..=max_lag {
+        let (xs, ys) = if lag >= 0 {
+            let k = lag as usize;
+            (&x[..n - k], &y[k..n])
+        } else {
+            let k = (-lag) as usize;
+            (&x[k..n], &y[..n - k])
+        };
+        if let Some(r) = pearson(xs, ys) {
+            out.push(LagCorrelation { lag, r });
+        }
+    }
+    out
+}
+
+/// The lag at which `y` best aligns with `x` (argmax of the
+/// correlogram); `None` when no lag produced a defined correlation.
+pub fn peak_lag(x: &[f64], y: &[f64], max_lag: usize) -> Option<LagCorrelation> {
+    cross_correlation(x, y, max_lag)
+        .into_iter()
+        .max_by(|a, b| a.r.partial_cmp(&b.r).expect("finite correlations"))
+}
+
+/// Autocorrelation of a series at lags `0..=max_lag` (r(0) = 1 by
+/// definition when the series is non-degenerate).
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<LagCorrelation> {
+    cross_correlation(x, x, max_lag).into_iter().filter(|p| p.lag >= 0).collect()
+}
+
+/// The coherence time of a series: the smallest positive lag (in samples)
+/// at which the autocorrelation falls below `threshold` (0.5 is the
+/// convention). `None` when the series never decorrelates within
+/// `max_lag` — the §5 observation that "channel conditions appear to
+/// oscillate around these time scales" made measurable.
+pub fn coherence_lag(x: &[f64], max_lag: usize, threshold: f64) -> Option<usize> {
+    autocorrelation(x, max_lag)
+        .into_iter()
+        .find(|p| p.lag > 0 && p.r < threshold)
+        .map(|p| p.lag as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.31).sin() + 0.3 * (i as f64 * 0.07).cos()).collect()
+    }
+
+    #[test]
+    fn shifted_copy_peaks_at_its_shift() {
+        let x = signal(400);
+        for shift in [0usize, 3, 11, 25] {
+            // y(t) = x(t - shift): y trails x by `shift`.
+            let y: Vec<f64> =
+                (0..x.len()).map(|i| if i >= shift { x[i - shift] } else { 0.0 }).collect();
+            let peak = peak_lag(&x, &y, 40).unwrap();
+            assert_eq!(peak.lag, shift as i64, "shift {shift}");
+            assert!(peak.r > 0.95, "shift {shift}: r {}", peak.r);
+        }
+    }
+
+    #[test]
+    fn leading_series_peaks_at_negative_lag() {
+        let x = signal(400);
+        // y(t) = x(t + 7): y *leads* x.
+        let y: Vec<f64> = (0..x.len()).map(|i| x[(i + 7).min(x.len() - 1)]).collect();
+        let peak = peak_lag(&x, &y, 20).unwrap();
+        assert_eq!(peak.lag, -7);
+    }
+
+    #[test]
+    fn correlogram_is_bounded_and_symmetric_in_roles() {
+        let x = signal(300);
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        for pt in cross_correlation(&x, &y, 30) {
+            assert!(pt.r.abs() <= 1.0 + 1e-12);
+        }
+        // Swapping the series mirrors the lag axis.
+        let xy = peak_lag(&x, &y, 30).unwrap();
+        let yx = peak_lag(&y, &x, 30).unwrap();
+        assert_eq!(xy.lag, -yx.lag);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_skipped() {
+        assert!(peak_lag(&[1.0, 1.0, 1.0, 1.0, 1.0], &[1.0; 5], 2).is_none());
+        assert!(cross_correlation(&[], &[], 5).is_empty());
+    }
+
+    #[test]
+    fn autocorrelation_starts_at_one_and_white_noise_decorrelates_fast() {
+        // A deterministic pseudo-noise series via a simple LCG.
+        let mut state = 12345u64;
+        let noise: Vec<f64> = (0..2000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+            })
+            .collect();
+        let ac = autocorrelation(&noise, 20);
+        assert!((ac[0].r - 1.0).abs() < 1e-12);
+        assert_eq!(coherence_lag(&noise, 20, 0.5), Some(1));
+    }
+
+    #[test]
+    fn slow_process_has_long_coherence() {
+        // AR(1) with ρ = 0.98 stays correlated for tens of samples:
+        // r(k) ≈ 0.98^k crosses 0.5 near k = 34.
+        let mut state = 99u64;
+        let mut v = 0.0f64;
+        let series: Vec<f64> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let w = (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5;
+                v = 0.98 * v + w;
+                v
+            })
+            .collect();
+        let lag = coherence_lag(&series, 200, 0.5).expect("decorrelates within 200");
+        assert!((20..=60).contains(&lag), "coherence lag {lag}");
+        // A faster process decorrelates sooner.
+        let mut v2 = 0.0f64;
+        let mut s2 = 7u64;
+        let fast: Vec<f64> = (0..20_000)
+            .map(|_| {
+                s2 = s2.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let w = (s2 >> 33) as f64 / (1u64 << 31) as f64 - 0.5;
+                v2 = 0.8 * v2 + w;
+                v2
+            })
+            .collect();
+        assert!(coherence_lag(&fast, 200, 0.5).unwrap() < lag);
+    }
+}

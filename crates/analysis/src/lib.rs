@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # analysis — the paper's §5 scaled variability metrics and the
+//! time-series machinery behind its cross-layer dissection
+//!
+//! * [`variability`](mod@variability) — the scaled variability metric V(t) of §5 eq. (1),
+//!   evaluated across dyadic time scales (Figs. 12 and 18), plus segment
+//!   variability for sub-sequence analysis;
+//! * [`timeseries`] — resampling slot-level samples onto coarser grids
+//!   (the 60 ms/150 ms views of Figs. 13, 15, 16);
+//! * [`stats`] — summary statistics: mean/std, percentiles, CDFs,
+//!   boxplot five-number summaries, Pearson correlation;
+//! * [`correlation`] — lagged cross-correlation, quantifying the §6.1
+//!   "clear lag in the decisions made by BOLA" against the channel.
+//!
+//! The crate is deliberately free of simulator dependencies: it consumes
+//! plain `&[f64]` so it can analyse any KPI stream — simulated or real.
+
+pub mod correlation;
+pub mod stats;
+pub mod timeseries;
+pub mod variability;
+
+pub use correlation::{autocorrelation, coherence_lag, cross_correlation, peak_lag, LagCorrelation};
+pub use stats::{cdf_points, mean, pearson, percentile, std_dev, BoxplotStats};
+pub use timeseries::{bin_average, bin_sum, Resampled};
+pub use variability::{variability, variability_profile, VariabilityPoint};

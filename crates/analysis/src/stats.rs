@@ -1,0 +1,176 @@
+//! Summary statistics: the aggregate views the paper plots before arguing
+//! (§5) that aggregates alone are not enough.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1); 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Linear-interpolated percentile, p ∈ [0, 100]; `None` on empty input.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// `(value, cumulative fraction)` points of the empirical CDF — the form
+/// of the paper's Fig. 3.
+pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Pearson correlation coefficient; `None` when either side is degenerate.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Five-number summary plus mean — what each box of the paper's Figs. 1,
+/// 9, 10, 11 shows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean (the annotation above each box in the paper).
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxplotStats {
+    /// Compute from samples; `None` on empty input.
+    pub fn from_samples(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        Some(BoxplotStats {
+            min: percentile(xs, 0.0)?,
+            q1: percentile(xs, 25.0)?,
+            median: percentile(xs, 50.0)?,
+            q3: percentile(xs, 75.0)?,
+            max: percentile(xs, 100.0)?,
+            mean: mean(xs),
+            n: xs.len(),
+        })
+    }
+}
+
+impl std::fmt::Display for BoxplotStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.1} [min {:.1} | q1 {:.1} | med {:.1} | q3 {:.1} | max {:.1}] (n={})",
+            self.mean, self.min, self.q1, self.median, self.q3, self.max, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.138).abs() < 0.001);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let xs = [3.0, 1.0, 2.0, 2.0];
+        let cdf = cdf_points(&xs);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn pearson_signs() {
+        let x: Vec<f64> = (0..50).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let z: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &vec![1.0; 50]), None);
+        assert_eq!(pearson(&x[..3], &y[..4]), None);
+    }
+
+    #[test]
+    fn boxplot_summary() {
+        let xs: Vec<f64> = (1..=101).map(f64::from).collect();
+        let b = BoxplotStats::from_samples(&xs).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 51.0);
+        assert_eq!(b.max, 101.0);
+        assert_eq!(b.mean, 51.0);
+        assert_eq!(b.n, 101);
+        assert!(BoxplotStats::from_samples(&[]).is_none());
+    }
+}

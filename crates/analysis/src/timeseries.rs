@@ -1,0 +1,112 @@
+//! Time-series resampling: slot-level KPIs onto coarser, regular grids.
+//!
+//! The paper presents the same underlying slot data at several
+//! granularities: 60 ms for the Fig. 13/16 time-series panels, 150 ms for
+//! the Fig. 15 variability scatter, seconds for throughput plots. These
+//! helpers bin irregular `(time, value)` samples onto a regular grid by
+//! averaging (rates, MCS, layers) or summing (bits).
+
+use serde::{Deserialize, Serialize};
+
+/// A regularly-resampled series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resampled {
+    /// Bin width, seconds.
+    pub bin_s: f64,
+    /// One value per bin, starting at t = 0.
+    pub values: Vec<f64>,
+}
+
+impl Resampled {
+    /// Bin-centre timestamps.
+    pub fn timestamps(&self) -> Vec<f64> {
+        (0..self.values.len()).map(|i| (i as f64 + 0.5) * self.bin_s).collect()
+    }
+}
+
+/// Average of samples per bin; empty bins repeat the previous bin's value
+/// (sample-and-hold, as a plotted KPI line would).
+pub fn bin_average(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resampled {
+    let n_bins = (duration_s / bin_s).ceil().max(0.0) as usize;
+    let mut sums = vec![0.0; n_bins];
+    let mut counts = vec![0u32; n_bins];
+    for &(t, v) in samples {
+        if t < 0.0 || n_bins == 0 {
+            continue;
+        }
+        let b = ((t / bin_s) as usize).min(n_bins - 1);
+        sums[b] += v;
+        counts[b] += 1;
+    }
+    let mut values = Vec::with_capacity(n_bins);
+    let mut last = 0.0;
+    for b in 0..n_bins {
+        if counts[b] > 0 {
+            last = sums[b] / f64::from(counts[b]);
+        }
+        values.push(last);
+    }
+    Resampled { bin_s, values }
+}
+
+/// Sum of samples per bin divided by the bin width — turning per-slot bit
+/// counts into a rate series (bits/s when the samples are bits).
+pub fn bin_sum(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resampled {
+    let n_bins = (duration_s / bin_s).ceil().max(0.0) as usize;
+    let mut sums = vec![0.0; n_bins];
+    for &(t, v) in samples {
+        if t < 0.0 || n_bins == 0 {
+            continue;
+        }
+        let b = ((t / bin_s) as usize).min(n_bins - 1);
+        sums[b] += v;
+    }
+    Resampled { bin_s, values: sums.into_iter().map(|s| s / bin_s).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_bins_and_holds() {
+        let samples = vec![(0.1, 10.0), (0.2, 20.0), (0.9, 50.0)];
+        let r = bin_average(&samples, 0.5, 1.5);
+        assert_eq!(r.values.len(), 3);
+        assert_eq!(r.values[0], 15.0); // mean of the first two
+        assert_eq!(r.values[1], 50.0);
+        assert_eq!(r.values[2], 50.0); // held
+    }
+
+    #[test]
+    fn sum_bins_form_rates() {
+        // 1000 bits at t=0.1 and 0.3 in a 0.5 s bin → 4000 bits/s.
+        let samples = vec![(0.1, 1000.0), (0.3, 1000.0)];
+        let r = bin_sum(&samples, 0.5, 1.0);
+        assert_eq!(r.values[0], 4000.0);
+        assert_eq!(r.values[1], 0.0);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamped_or_dropped() {
+        let samples = vec![(-1.0, 99.0), (10.0, 7.0)];
+        let r = bin_average(&samples, 1.0, 2.0);
+        // Negative time dropped; far-future sample clamps to the last bin.
+        assert_eq!(r.values[0], 0.0);
+        assert_eq!(r.values[1], 7.0);
+    }
+
+    #[test]
+    fn timestamps_are_bin_centres() {
+        let r = Resampled { bin_s: 0.06, values: vec![0.0; 3] };
+        let ts = r.timestamps();
+        assert!((ts[0] - 0.03).abs() < 1e-12);
+        assert!((ts[2] - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_is_empty() {
+        assert!(bin_average(&[], 0.5, 0.0).values.is_empty());
+        assert!(bin_sum(&[], 0.5, 0.0).values.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! The scaled variability metric V(t) — paper §5, equation (1).
+//!
+//! Given samples x₁…xₙ at base granularity τ and a time scale t = k·τ,
+//! the sequence is averaged within consecutive blocks of k samples,
+//! producing X₁…X_m (m = n/k), and
+//!
+//! ```text
+//! V(t) = 1/(m−1) · Σ_{j=1}^{m−1} |X_{j+1} − X_j|
+//! ```
+//!
+//! — the mean absolute block-to-block variation, a discrete form of
+//! bounded variation. Larger V(t) ⇒ the series moves more at scale t.
+//! Evaluating V over a ladder of scales (0.5 ms … 2 s in the paper's
+//! Fig. 12) reveals at which time scales a 5G channel actually churns.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a variability-vs-time-scale profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityPoint {
+    /// The time scale t in seconds.
+    pub timescale_s: f64,
+    /// V(t).
+    pub variability: f64,
+    /// Number of blocks m the estimate is based on.
+    pub blocks: usize,
+}
+
+/// V(t) for a block size of `block` base samples.
+///
+/// Returns `None` when fewer than two complete blocks exist (the metric
+/// needs at least one difference). Trailing samples that do not fill a
+/// block are dropped, as in the paper's power-of-two formulation.
+pub fn variability(samples: &[f64], block: usize) -> Option<f64> {
+    if block == 0 {
+        return None;
+    }
+    let m = samples.len() / block;
+    if m < 2 {
+        return None;
+    }
+    let block_mean = |j: usize| -> f64 {
+        let start = j * block;
+        samples[start..start + block].iter().sum::<f64>() / block as f64
+    };
+    let mut sum = 0.0;
+    let mut prev = block_mean(0);
+    for j in 1..m {
+        let cur = block_mean(j);
+        sum += (cur - prev).abs();
+        prev = cur;
+    }
+    Some(sum / (m - 1) as f64)
+}
+
+/// V(t) over a dyadic ladder of scales: t = τ, 2τ, 4τ, … while at least
+/// `min_blocks` blocks remain. `tau_s` is the base sample period.
+pub fn variability_profile(
+    samples: &[f64],
+    tau_s: f64,
+    min_blocks: usize,
+) -> Vec<VariabilityPoint> {
+    let mut out = Vec::new();
+    let mut block = 1usize;
+    loop {
+        let m = samples.len() / block;
+        if m < min_blocks.max(2) {
+            break;
+        }
+        if let Some(v) = variability(samples, block) {
+            out.push(VariabilityPoint {
+                timescale_s: block as f64 * tau_s,
+                variability: v,
+                blocks: m,
+            });
+        }
+        block = block.checked_mul(2).expect("block sizes stay small");
+    }
+    out
+}
+
+/// Segment a long series into `segments` equal sub-sequences and return
+/// V(t) per segment — the paper's sub-sequence variability analysis.
+pub fn segment_variability(samples: &[f64], block: usize, segments: usize) -> Vec<Option<f64>> {
+    if segments == 0 {
+        return Vec::new();
+    }
+    let seg_len = samples.len() / segments;
+    (0..segments)
+        .map(|i| variability(&samples[i * seg_len..(i + 1) * seg_len], block))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_has_zero_variability() {
+        let x = vec![5.0; 1024];
+        for block in [1, 2, 8, 64] {
+            assert_eq!(variability(&x, block), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn alternating_series_variability_collapses_with_scale() {
+        // +1,−1,+1,−1 … : V(τ) = 2; averaged in pairs the blocks are all 0,
+        // so V(2τ) = 0. The metric captures exactly this scale-dependence.
+        let x: Vec<f64> = (0..1024).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert_eq!(variability(&x, 1), Some(2.0));
+        assert_eq!(variability(&x, 2), Some(0.0));
+    }
+
+    #[test]
+    fn slow_ramp_keeps_variability_across_scales() {
+        // A linear ramp: block means differ by block·slope, and dividing by
+        // (m−1) normalises — V(t) grows linearly with t for a trend.
+        let x: Vec<f64> = (0..1024).map(|i| i as f64 * 0.01).collect();
+        let v1 = variability(&x, 1).unwrap();
+        let v4 = variability(&x, 4).unwrap();
+        assert!((v1 - 0.01).abs() < 1e-12);
+        assert!((v4 - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_short_series_yields_none() {
+        assert_eq!(variability(&[1.0], 1), None);
+        assert_eq!(variability(&[1.0, 2.0, 3.0], 2), None);
+        assert_eq!(variability(&[1.0, 2.0], 0), None);
+    }
+
+    #[test]
+    fn profile_covers_dyadic_ladder() {
+        let x: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.1).sin()).collect();
+        let profile = variability_profile(&x, 0.0005, 4);
+        assert!(!profile.is_empty());
+        // Scales double.
+        for w in profile.windows(2) {
+            assert!((w[1].timescale_s / w[0].timescale_s - 2.0).abs() < 1e-12);
+        }
+        // First scale is the base period.
+        assert_eq!(profile[0].timescale_s, 0.0005);
+        // Every point keeps at least min_blocks blocks.
+        for p in &profile {
+            assert!(p.blocks >= 4);
+        }
+    }
+
+    #[test]
+    fn noisier_series_has_higher_variability() {
+        // The §5 claim in miniature: same mean, different churn.
+        let calm: Vec<f64> = (0..2048).map(|i| 100.0 + (i as f64 * 0.01).sin()).collect();
+        let churny: Vec<f64> =
+            (0..2048).map(|i| 100.0 + 30.0 * (i as f64 * 1.7).sin()).collect();
+        for block in [1, 4, 16] {
+            assert!(
+                variability(&churny, block).unwrap() > variability(&calm, block).unwrap(),
+                "block {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn segments_partition_the_series() {
+        let x: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let segs = segment_variability(&x, 1, 4);
+        assert_eq!(segs.len(), 4);
+        // Each segment of the ramp has the same slope → same V.
+        for s in &segs {
+            assert!((s.unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the analysis metrics.
+
+use analysis::stats::{cdf_points, mean, pearson, percentile, std_dev, BoxplotStats};
+use analysis::timeseries::{bin_average, bin_sum};
+use analysis::variability::{segment_variability, variability, variability_profile};
+use proptest::prelude::*;
+
+proptest! {
+    /// V(t) is a seminorm-like functional: non-negative, zero on
+    /// constants, absolutely homogeneous under scaling, shift-invariant.
+    #[test]
+    fn variability_seminorm(
+        xs in prop::collection::vec(-1e4f64..1e4, 8..200),
+        scale in -4.0f64..4.0,
+        shift in -1e4f64..1e4,
+        block in 1usize..6,
+    ) {
+        if let Some(v) = variability(&xs, block) {
+            prop_assert!(v >= 0.0);
+            let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+            let vs = variability(&scaled, block).unwrap();
+            prop_assert!((vs - v * scale.abs()).abs() < 1e-6 * (1.0 + v), "homogeneity");
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            prop_assert!((variability(&shifted, block).unwrap() - v).abs() < 1e-6 * (1.0 + v));
+        }
+    }
+
+    /// Dyadic profiles halve their block counts per step and stay finite.
+    #[test]
+    fn profile_structure(xs in prop::collection::vec(-1e3f64..1e3, 64..512)) {
+        let profile = variability_profile(&xs, 0.001, 4);
+        prop_assert!(!profile.is_empty());
+        for w in profile.windows(2) {
+            prop_assert!((w[1].timescale_s / w[0].timescale_s - 2.0).abs() < 1e-12);
+            prop_assert!(w[1].blocks <= w[0].blocks);
+        }
+        for p in &profile {
+            prop_assert!(p.variability.is_finite());
+        }
+    }
+
+    /// Segments partition: each segment's V uses only its own samples.
+    #[test]
+    fn segments_are_local(xs in prop::collection::vec(-1e3f64..1e3, 40..200), segs in 1usize..5) {
+        let out = segment_variability(&xs, 1, segs);
+        prop_assert_eq!(out.len(), segs);
+        let seg_len = xs.len() / segs;
+        for (i, v) in out.iter().enumerate() {
+            let direct = variability(&xs[i * seg_len..(i + 1) * seg_len], 1);
+            prop_assert_eq!(*v, direct);
+        }
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes; the
+    /// boxplot summary is internally ordered.
+    #[test]
+    fn percentile_ordering(xs in prop::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+        let lo = percentile(&xs, 0.0).unwrap();
+        let hi = percentile(&xs, 100.0).unwrap();
+        let v = percentile(&xs, p).unwrap();
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        prop_assert!(percentile(&xs, (p + 5.0).min(100.0)).unwrap() >= v - 1e-9);
+        let b = BoxplotStats::from_samples(&xs).unwrap();
+        prop_assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+        prop_assert!(b.mean >= b.min - 1e-9 && b.mean <= b.max + 1e-9);
+    }
+
+    /// The empirical CDF ends at exactly 1 and is non-decreasing in both
+    /// coordinates.
+    #[test]
+    fn cdf_properties(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let cdf = cdf_points(&xs);
+        prop_assert_eq!(cdf.len(), xs.len());
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    /// Pearson is symmetric, bounded by 1 in magnitude, and exactly ±1 on
+    /// affine images.
+    #[test]
+    fn pearson_properties(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..100),
+        a in prop::sample::select(vec![-3.0f64, -1.0, 0.5, 2.0]),
+        b in -10.0f64..10.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((r.abs() - 1.0).abs() < 1e-6);
+            prop_assert_eq!(r.signum(), a.signum());
+        }
+        if let (Some(rxy), Some(ryx)) = (pearson(&xs, &ys), pearson(&ys, &xs)) {
+            prop_assert!((rxy - ryx).abs() < 1e-9);
+        }
+    }
+
+    /// Binning conserves mass: the sum-bins rate series integrates back to
+    /// the total of the samples.
+    #[test]
+    fn binning_conserves_mass(
+        samples in prop::collection::vec((0.0f64..9.99, 0.0f64..1e5), 0..200),
+        bin_s in prop::sample::select(vec![0.05f64, 0.1, 0.5, 1.0]),
+    ) {
+        let r = bin_sum(&samples, bin_s, 10.0);
+        let integrated: f64 = r.values.iter().map(|v| v * bin_s).sum();
+        let total: f64 = samples.iter().map(|(_, v)| v).sum();
+        prop_assert!((integrated - total).abs() < 1e-6 * (1.0 + total));
+        // Averages are bounded by the sample extremes.
+        let avg = bin_average(&samples, bin_s, 10.0);
+        if !samples.is_empty() {
+            let lo = samples.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+            let hi = samples.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+            for v in avg.values {
+                prop_assert!(v >= lo.min(0.0) - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+
+    /// mean/std agree with direct formulas.
+    #[test]
+    fn moments(xs in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+        let m = mean(&xs);
+        let direct: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((m - direct).abs() < 1e-9);
+        prop_assert!(std_dev(&xs) >= 0.0);
+    }
+}

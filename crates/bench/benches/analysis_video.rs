@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the analysis metrics and the video player.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use midband5g::analysis::variability::{variability, variability_profile};
+use midband5g::video::{AbrKind, BandwidthTrace, PlayerConfig, PlayerSim, QualityLadder};
+
+fn bench_variability(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..262_144).map(|i| ((i as f64) * 0.37).sin() * 50.0 + 400.0).collect();
+    let mut group = c.benchmark_group("variability");
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function("single_scale_256k", |b| {
+        b.iter(|| variability(black_box(&samples), 128))
+    });
+    group.bench_function("dyadic_profile_256k", |b| {
+        b.iter(|| variability_profile(black_box(&samples), 0.0005, 4))
+    });
+    group.finish();
+}
+
+fn bench_player(c: &mut Criterion) {
+    // A churning 5-minute bandwidth trace at 50 ms bins.
+    let mbps: Vec<f64> = (0..6000)
+        .map(|i| 450.0 + 350.0 * ((i as f64) * 0.01).sin() + 100.0 * ((i as f64) * 0.13).cos())
+        .map(|v| v.max(10.0))
+        .collect();
+    let trace = BandwidthTrace { bin_s: 0.05, mbps };
+    let mut group = c.benchmark_group("player");
+    for kind in [AbrKind::Bola, AbrKind::Throughput, AbrKind::Dynamic] {
+        group.bench_function(format!("5min_{kind}"), |b| {
+            b.iter(|| {
+                let mut abr = kind.build();
+                PlayerSim::new(QualityLadder::paper_midband(), PlayerConfig::default(), &trace)
+                    .play(abr.as_mut())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variability, bench_player);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the PHY substrate: the hot per-slot
+//! primitives (TBS determination, CQI mapping, the 38.306 formula).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use midband5g::nr_phy::cqi::{Cqi, CqiTable, CqiToMcsPolicy};
+use midband5g::nr_phy::mcs::{McsIndex, McsTable};
+use midband5g::nr_phy::resource::RbAllocation;
+use midband5g::nr_phy::tbs::transport_block_size;
+use midband5g::nr_phy::tdd::{SpecialSlotConfig, TddPattern};
+use midband5g::nr_phy::throughput::{max_data_rate_mbps, CarrierRange, CarrierSpec, LinkDirection};
+use midband5g::nr_phy::Numerology;
+
+fn bench_tbs(c: &mut Criterion) {
+    let alloc = RbAllocation::full_slot(273);
+    c.bench_function("tbs/full_slot_273rb_256qam_4layers", |b| {
+        b.iter(|| {
+            transport_block_size(
+                black_box(&alloc),
+                McsTable::Qam256,
+                black_box(McsIndex(27)),
+                4,
+            )
+        })
+    });
+    c.bench_function("tbs/small_allocation", |b| {
+        let small = RbAllocation::full_slot(4);
+        b.iter(|| transport_block_size(black_box(&small), McsTable::Qam64, McsIndex(5), 1))
+    });
+}
+
+fn bench_cqi_mapping(c: &mut Criterion) {
+    let policy = CqiToMcsPolicy::neutral(CqiTable::Table2);
+    c.bench_function("cqi/map_all_16_values", |b| {
+        b.iter(|| {
+            for v in 0..=15u8 {
+                black_box(policy.map(Cqi::saturating(v)));
+            }
+        })
+    });
+}
+
+fn bench_max_rate(c: &mut Criterion) {
+    let ccs = [
+        CarrierSpec {
+            layers: 4,
+            modulation: midband5g::nr_phy::mcs::Modulation::Qam256,
+            scaling: 1.0,
+            numerology: Numerology::Mu1,
+            n_rb: 273,
+            range: CarrierRange::Fr1,
+        },
+        CarrierSpec {
+            layers: 4,
+            modulation: midband5g::nr_phy::mcs::Modulation::Qam256,
+            scaling: 1.0,
+            numerology: Numerology::Mu1,
+            n_rb: 106,
+            range: CarrierRange::Fr1,
+        },
+    ];
+    c.bench_function("maxrate/38306_two_carriers", |b| {
+        b.iter(|| max_data_rate_mbps(black_box(&ccs), LinkDirection::Downlink))
+    });
+}
+
+fn bench_tdd(c: &mut Criterion) {
+    let p = TddPattern::parse("DDDDDDDSUU", SpecialSlotConfig::DL_HEAVY).unwrap();
+    c.bench_function("tdd/slot_queries_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for slot in 0..1000u64 {
+                acc += u32::from(p.dl_symbols(black_box(slot)));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_tbs, bench_cqi_mapping, bench_max_rate, bench_tdd);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the slot-level simulator: how many simulated
+//! slots per second the workspace sustains (the practical limit on
+//! campaign sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use midband5g::measure::session::{MobilityKind, SessionResult, SessionSpec};
+use midband5g::operators::Operator;
+use midband5g::radio_channel::channel::{ChannelConfig, ChannelSimulator};
+use midband5g::radio_channel::geometry::{DeploymentLayout, Position};
+use midband5g::radio_channel::mobility::MobilityModel;
+use midband5g::radio_channel::rng::SeedTree;
+
+fn bench_channel_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("step_10k_slots_3sites", |b| {
+        b.iter_batched(
+            || {
+                ChannelSimulator::new(
+                    ChannelConfig::midband_urban(245),
+                    DeploymentLayout::three_site_dense(),
+                    MobilityModel::walking(Position::ORIGIN, 100.0),
+                    &SeedTree::new(1),
+                )
+            },
+            |mut sim| {
+                for _ in 0..10_000 {
+                    sim.step();
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_full_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    group.bench_function("vsp_1s_full_buffer", |b| {
+        b.iter(|| {
+            SessionResult::run(SessionSpec::stationary(Operator::VodafoneSpain, 0, 1.0, 99))
+        })
+    });
+    group.bench_function("tmobile_ca_1s_full_buffer", |b| {
+        b.iter(|| {
+            SessionResult::run(SessionSpec {
+                operator: Operator::TMobileUs,
+                mobility: MobilityKind::Stationary { spot: 0 },
+                dl: true,
+                ul: true,
+                duration_s: 1.0,
+                seed: 99,
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel_step, bench_full_session);
+criterion_main!(benches);

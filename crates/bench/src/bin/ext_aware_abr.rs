@@ -1,0 +1,33 @@
+//! Extension study: the paper's "make applications 5G-network-aware"
+//! recommendation, implemented and evaluated (BOLA vs the churn-adaptive
+//! controller over erratic channels).
+
+use midband5g::experiments::extensions;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(3, 45.0);
+    banner(
+        "Extension",
+        "5G-network-aware ABR (churn-adaptive BOLA) vs plain BOLA",
+        &args,
+    );
+    let rows = extensions::aware_abr_comparison(args.duration_s, args.sessions, args.seed);
+    println!(
+        "{:<34} {:<10} | {:>13} {:>10} {:>9}",
+        "Channel", "ABR", "norm bitrate", "stall (%)", "switches"
+    );
+    for r in &rows {
+        println!(
+            "{:<34} {:<10} | {:>13.2} {:>10.2} {:>9.1}",
+            r.channel, r.abr, r.normalized_bitrate, r.stall_pct, r.switches
+        );
+    }
+    println!();
+    println!("The aware controller consumes a channel-churn signal (recent capacity");
+    println!("variability over its mean) and shrinks its throughput budget with it.");
+    println!("Expected shape: on erratic channels it cuts stall time and switch");
+    println!("count at a bounded bitrate cost; on calm channels it matches BOLA —");
+    println!("the paper's closing 'lessons learned' made concrete.");
+    args.maybe_dump(&rows);
+}

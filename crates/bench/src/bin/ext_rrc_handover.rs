@@ -1,0 +1,43 @@
+//! Extension studies: (a) the RRC warm-up methodology the paper applies
+//! (§2 ❺) quantified, and (b) handover behaviour along the driving loop.
+
+use midband5g::experiments::extensions;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(1, 30.0);
+    banner("Extension", "RRC warm-up overhead & handover rates", &args);
+
+    println!("## RRC idle-promotion overhead (why the paper warms up first)");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12}",
+        "transfer", "cold (ms)", "warm (ms)", "overhead"
+    );
+    for r in extensions::rrc_warmup_study(args.seed) {
+        println!(
+            "{:>11} Mb {:>12.1} {:>12.1} {:>11.0}%",
+            r.transfer_mbit,
+            r.cold_ms,
+            r.warm_ms,
+            r.overhead * 100.0
+        );
+    }
+    println!();
+    println!("A cold RRC state multiplies short-transfer completion times —");
+    println!("exactly the contamination the paper's §2 ❺ procedure (play 20 s of");
+    println!("video, wait 5 s, measure) removes from its latency data.");
+    println!();
+
+    println!("## Handovers along the driving loop (A3 hysteresis, 3 dB)");
+    println!("{:<12} {:>6} {:>18} {:>12}", "Operator", "gNBs", "handovers/min", "DL Mbps");
+    for r in extensions::handover_study(args.duration_s, args.seed) {
+        println!(
+            "{:<12} {:>6} {:>18.1} {:>12.1}",
+            r.operator, r.sites, r.handovers_per_min, r.dl_mbps
+        );
+    }
+    println!();
+    println!("Serving-cell changes stay at a handful per minute under hysteresis;");
+    println!("the sparse grid's drive crosses deep coverage nulls, cutting its");
+    println!("mean throughput — the §7 'driving narrows every gap' effect.");
+}

@@ -1,0 +1,39 @@
+//! Extension study: the TDD frame-structure frontier the paper defers to
+//! future work (§3.1: "we delegate the discussion of TDD frame structure
+//! and its implications on 5G performance to future works").
+
+use midband5g::experiments::extensions;
+use midband5g_bench::{banner, fmt_rate, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(20_000, 0.0);
+    banner(
+        "Extension",
+        "TDD frame-structure frontier: DL/UL capacity vs user-plane latency",
+        &args,
+    );
+    let rows = extensions::tdd_frontier(args.sessions as usize, args.seed);
+    println!(
+        "{:<12} {:<10} {:>8} {:>8} {:>14} {:>13} {:>10}",
+        "Pattern", "S-slot", "DL duty", "UL duty", "DL ceiling", "UL ceiling", "latency"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<10} {:>7.1}% {:>7.1}% {:>14} {:>13} {:>7.2} ms",
+            r.pattern,
+            r.special,
+            r.dl_duty * 100.0,
+            r.ul_duty * 100.0,
+            fmt_rate(r.dl_ceiling_mbps),
+            fmt_rate(r.ul_ceiling_mbps),
+            r.latency_ms
+        );
+    }
+    println!();
+    println!("(90 MHz carrier, 4×4/256QAM DL, 1-layer UL.) The frontier explains");
+    println!("the paper's §4 findings in one table: V_It's UL-free 10-slot pattern");
+    println!("buys the best DL ceiling at the worst latency and UL; V_Ge's balanced");
+    println!("DDDSU does the opposite. No pattern wins everywhere — frame structure");
+    println!("is an operating-point choice, not a quality ranking.");
+    args.maybe_dump(&rows);
+}

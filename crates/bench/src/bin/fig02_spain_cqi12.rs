@@ -1,0 +1,33 @@
+//! Figure 2: Spanish operators under good channel conditions (CQI ≥ 12).
+
+use midband5g::experiments::dl_throughput;
+use midband5g_bench::{banner, fmt_rate, RunArgs};
+
+const PAPER: [(&str, f64); 3] =
+    [("V_Sp", 771.0), ("O_Sp[90]", 759.7), ("O_Sp[100]", 557.4)];
+
+fn main() {
+    let args = RunArgs::parse(12, 10.0);
+    banner("Figure 2", "DL throughput with CQI ≥ 12, Spain", &args);
+    let rows = dl_throughput::figure2(args.sessions, args.duration_s, args.seed);
+    println!(
+        "{:<10} {:>4} {:>16} {:>14} {:>12}",
+        "Operator", "MHz", "CQI≥12 (ours)", "paper", "all periods"
+    );
+    for r in &rows {
+        let paper = PAPER.iter().find(|(n, _)| *n == r.operator).map(|(_, v)| *v);
+        println!(
+            "{:<10} {:>4} {:>16} {:>14} {:>12}",
+            r.operator,
+            r.bandwidth_mhz,
+            fmt_rate(r.dl_mbps_cqi12),
+            paper.map(fmt_rate).unwrap_or_default(),
+            fmt_rate(r.dl_mbps_all)
+        );
+    }
+    println!();
+    println!("Shape check: even in good channel conditions the 100 MHz channel");
+    println!("trails both 90 MHz channels (the paper's ~37% gap) — bandwidth is");
+    println!("not the binding factor; MCS cap and MIMO rank are (Figs. 5-6).");
+    args.maybe_dump(&rows);
+}

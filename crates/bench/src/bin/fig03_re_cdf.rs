@@ -1,0 +1,38 @@
+//! Figure 3: CDF of per-slot RE allocations in Spain.
+
+use midband5g::experiments::resources;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(6, 8.0);
+    banner("Figure 3", "REs allocated to the UE during DL saturation (CDF)", &args);
+    let cdfs = resources::figure3(args.sessions, args.duration_s, args.seed);
+    // Print a compact quantile table per operator.
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "Operator", "p10", "p25", "p50", "p75", "p90"
+    );
+    for c in &cdfs {
+        let q = |p: f64| {
+            c.cdf
+                .iter()
+                .find(|&&(_, f)| f >= p)
+                .map(|&(v, _)| v)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:<10} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            c.operator,
+            q(0.10),
+            q(0.25),
+            q(0.50),
+            q(0.75),
+            q(0.90)
+        );
+    }
+    println!();
+    println!("Shape check (paper Fig. 3): O_Sp[100] allocates MORE REs than the");
+    println!("90 MHz channels — radio-resource allocation cannot explain its lower");
+    println!("throughput (it would predict the opposite).");
+    args.maybe_dump(&cdfs);
+}

@@ -1,0 +1,29 @@
+//! Figure 4: maximum RBs allocated by each operator.
+
+use midband5g::experiments::resources;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(3, 5.0);
+    banner("Figure 4", "Maximum number of RBs allocated by each operator", &args);
+    let rows = resources::figure4(args.sessions, args.duration_s, args.seed);
+    println!(
+        "{:<10} {:>9} {:>18} {:>16} {:>12}",
+        "Operator", "BW (MHz)", "configured N_RB", "observed max", "utilisation"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>9} {:>18} {:>16} {:>11.1}%",
+            r.operator,
+            r.bandwidth_mhz,
+            r.configured_n_rb,
+            r.observed_max_rb,
+            100.0 * f64::from(r.observed_max_rb) / f64::from(r.configured_n_rb)
+        );
+    }
+    println!();
+    println!("Shape check (paper Fig. 4): every operator allocates close to the");
+    println!("bandwidth-determined maximum (106/162/217/245/273 RBs) during");
+    println!("saturating transfers.");
+    args.maybe_dump(&rows);
+}

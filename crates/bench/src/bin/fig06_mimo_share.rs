@@ -1,0 +1,30 @@
+//! Figure 6: MIMO-layer utilisation in Spain.
+
+use midband5g::experiments::shares;
+use midband5g_bench::{banner, pct, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(12, 8.0);
+    banner("Figure 6", "MIMO layer utilisation, Spanish operators", &args);
+    let rows = shares::figure6(args.sessions, args.duration_s, args.seed);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "Carrier", "1 layer", "2 layers", "3 layers", "4 layers"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10}",
+            r.operator,
+            pct(r.layers[0]),
+            pct(r.layers[1]),
+            pct(r.layers[2]),
+            pct(r.layers[3])
+        );
+    }
+    println!();
+    println!("Paper: V_Sp 87.1% rank-4, O_Sp[90] 83.8% rank-4, O_Sp[100] 74.1%");
+    println!("rank-3 / 13.8% rank-4. Shape check: the sparse two-site deployment");
+    println!("keeps O_Sp[100] at rank 3 while the dense Madrid channels ride 4x4 —");
+    println!("the paper's root cause for the Fig. 2 inversion.");
+    args.maybe_dump(&rows);
+}

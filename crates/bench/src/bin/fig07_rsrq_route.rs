@@ -1,0 +1,49 @@
+//! Figure 7 / Appendix Fig. 22: RSRQ along a walk, V_Sp (3 gNBs) vs
+//! O_Sp (2 gNBs).
+
+use midband5g::experiments::coverage_map;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(1, 8.0);
+    banner("Figure 7", "RSRQ along the Madrid walk route (dense vs sparse)", &args);
+    let minutes = args.duration_s; // interpreted as walk minutes here
+    let (vsp, osp) = coverage_map::figure7(minutes, args.seed);
+    for s in [&vsp, &osp] {
+        println!(
+            "{:<10} ({} gNBs): mean RSRQ {:>6.2} dB | mean RSRP {:>7.2} dBm | good coverage {:>5.1}%",
+            s.operator,
+            s.sites,
+            s.mean_rsrq(),
+            s.mean_rsrp(),
+            100.0 * s.good_fraction()
+        );
+    }
+    println!();
+    // A coarse ASCII strip of RSRQ along the walk for each operator.
+    let strip = |s: &coverage_map::RouteSurvey| -> String {
+        s.samples
+            .iter()
+            .step_by((s.samples.len() / 60).max(1))
+            .map(|p| {
+                if p.rsrq_db > -10.5 {
+                    '#'
+                } else if p.rsrq_db > -12.0 {
+                    '+'
+                } else if p.rsrq_db > -14.0 {
+                    '-'
+                } else {
+                    '.'
+                }
+            })
+            .collect()
+    };
+    println!("route RSRQ ({}): {}", vsp.operator, strip(&vsp));
+    println!("route RSRQ ({}): {}", osp.operator, strip(&osp));
+    println!("        legend: '#' > -10.5 dB, '+' > -12, '-' > -14, '.' worse");
+    println!();
+    println!("Shape check (paper Fig. 7/22): along the same route the three-site");
+    println!("deployment sustains visibly better signal quality than the two-site");
+    println!("one — the coverage-density mechanism behind V_Sp's MIMO advantage.");
+    args.maybe_dump(&(vsp, osp));
+}

@@ -1,0 +1,38 @@
+//! Figure 10: U.S. PHY UL throughput by channel quality, including the
+//! LTE anchor leg.
+
+use midband5g::experiments::ul_throughput;
+use midband5g_bench::{banner, RunArgs};
+
+const PAPER_GOOD: [(&str, f64); 4] =
+    [("Att_US", 20.5), ("Vzw_US", 46.4), ("Tmb_US", 23.8), ("LTE_US", 72.6)];
+const PAPER_POOR: [(&str, f64); 4] =
+    [("Att_US", 0.3), ("Vzw_US", 13.0), ("Tmb_US", 3.4), ("LTE_US", 44.8)];
+
+fn main() {
+    let args = RunArgs::parse(12, 10.0);
+    banner("Figure 10", "[U.S.] PHY UL throughput, CQI ≥ 12 and CQI < 10", &args);
+    let rows = ul_throughput::figure10(args.sessions, args.duration_s, args.seed);
+    println!(
+        "{:<8} {:>9} | {:>12} {:>8} | {:>12} {:>8}",
+        "Channel", "BW (MHz)", "CQI≥12 ours", "paper", "CQI<10 ours", "paper"
+    );
+    for r in &rows {
+        let pg = PAPER_GOOD.iter().find(|(n, _)| *n == r.label).map(|(_, v)| *v);
+        let pp = PAPER_POOR.iter().find(|(n, _)| *n == r.label).map(|(_, v)| *v);
+        println!(
+            "{:<8} {:>9} | {:>12.1} {:>8} | {:>12.1} {:>8}",
+            r.label,
+            r.bandwidth,
+            r.ul_mbps_good,
+            pg.map(|p| format!("{p:.1}")).unwrap_or_default(),
+            r.ul_mbps_poor,
+            pp.map(|p| format!("{p:.1}")).unwrap_or_default()
+        );
+    }
+    println!();
+    println!("Shape checks (paper Fig. 10): the LTE anchor outperforms every NR UL");
+    println!("channel (which is why NSA deployments route UL to LTE); poor channel");
+    println!("conditions collapse the NR UL much harder than the LTE leg.");
+    args.maybe_dump(&rows);
+}

@@ -1,0 +1,40 @@
+//! Figure 11: PHY user-plane latency (DL+UL), BLER = 0 vs BLER > 0.
+
+use midband5g::experiments::latency;
+use midband5g_bench::{banner, RunArgs};
+
+const PAPER: [(&str, f64, f64); 4] = [
+    ("V_It", 6.93, 7.37),
+    ("V_Ge", 2.13, 2.20),
+    ("O_Fr", 5.33, 5.77),
+    ("T_Ge", 2.48, 2.90),
+];
+
+fn main() {
+    let args = RunArgs::parse(20_000, 0.0);
+    banner("Figure 11", "5G PHY user-plane latency by TDD frame structure", &args);
+    let rows = latency::figure11(args.sessions as usize, args.seed);
+    println!(
+        "{:<8} {:<14} | {:>12} {:>8} | {:>12} {:>8}",
+        "Operator", "TDD pattern", "BLER=0 ours", "paper", "BLER>0 ours", "paper"
+    );
+    for r in &rows {
+        let p = PAPER.iter().find(|(n, _, _)| *n == r.operator);
+        println!(
+            "{:<8} {:<14} | {:>9.2} ms {:>8} | {:>9.2} ms {:>8}",
+            r.operator,
+            r.pattern,
+            r.bler_zero_ms,
+            p.map(|(_, v, _)| format!("{v:.2}")).unwrap_or_default(),
+            r.bler_positive_ms,
+            p.map(|(_, _, v)| format!("{v:.2}")).unwrap_or_default()
+        );
+    }
+    println!();
+    println!("Shape checks (paper Fig. 11 + §4.3): channel bandwidth has no bearing;");
+    println!("the DDDSU operators sit near ~2 ms while the DL-heavy 10-slot patterns");
+    println!("(V_It's UL-free special slot, O_Fr's DDDSUUDDDD) pay multiples of that;");
+    println!("retransmissions add a sub-ms to low-ms penalty. The alignment-only");
+    println!("model compresses the paper's worst case (see EXPERIMENTS.md).");
+    args.maybe_dump(&rows);
+}

@@ -1,0 +1,48 @@
+//! Figure 12: scaled variability V(t) of throughput, MCS and MIMO layers
+//! across time scales (0.5 ms … ~2 s).
+
+use midband5g::experiments::variability;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(1, 20.0);
+    banner("Figure 12", "V(t) of throughput / MCS / MIMO across time scales", &args);
+    let profiles = variability::figure12(args.duration_s, args.seed);
+
+    for p in &profiles {
+        println!("--- {} ---", p.operator);
+        println!("{:>12} {:>14} {:>10} {:>10}", "t", "V_tput (Mbps)", "V_MCS", "V_MIMO");
+        // Print a subset of scales (every other dyadic step).
+        for (i, pt) in p.throughput.iter().enumerate() {
+            if i % 2 != 0 {
+                continue;
+            }
+            let mcs = p.mcs.get(i).map(|x| x.variability).unwrap_or(f64::NAN);
+            let mimo = p.mimo.get(i).map(|x| x.variability).unwrap_or(f64::NAN);
+            println!(
+                "{:>10.1} ms {:>14.1} {:>10.3} {:>10.4}",
+                pt.timescale_s * 1e3,
+                pt.variability,
+                mcs,
+                mimo
+            );
+        }
+        println!(
+            "  2 s annotation (mean ± std over segments): tput {:.1} ± {:.1} | MCS {:.2} ± {:.2} | MIMO {:.3} ± {:.3}",
+            p.annotation[0].0,
+            p.annotation[0].1,
+            p.annotation[1].0,
+            p.annotation[1].1,
+            p.annotation[2].0,
+            p.annotation[2].1
+        );
+        println!();
+    }
+    println!("Paper annotations at t = 2 s: tput V — O_Sp[100] 63.9±16.6,");
+    println!("O_Sp[90] 68.4±3.3, V_Sp 65.2±3.6, V_It 42.3±5.6; MCS V — 2.1±0.7,");
+    println!("1.7±0.52, 1.6±0.57, 1.2±0.32; MIMO V — 0.17±0.03, 0.13±0.02,");
+    println!("0.11±0.007, 0.02±0.002. Shape checks: variability collapses with");
+    println!("time scale and stabilises around 0.2-0.5 s; O_Sp[100] churns most,");
+    println!("V_It least, and parameter variability travels with tput variability.");
+    args.maybe_dump(&profiles);
+}

@@ -1,0 +1,90 @@
+//! Figure 16: one full video-over-5G trace (V_Sp): throughput, parameter
+//! variability, ABR decisions, buffer and stalls.
+
+use midband5g::experiments::video_qoe;
+use midband5g::measure::session::{MobilityKind, SessionResult, SessionSpec};
+use midband5g::operators::Operator;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(1, 300.0);
+    banner("Figure 16", "Video streaming dissection over V_Sp (BOLA, 4 s chunks)", &args);
+    let (run, log) = video_qoe::figure16(args.duration_s, args.seed);
+    // Recreate the channel trace (same seed → identical) to quantify the
+    // §6.1 decision lag.
+    let session = SessionResult::run(SessionSpec {
+        operator: Operator::VodafoneSpain,
+        mobility: MobilityKind::Stationary { spot: 0 },
+        dl: true,
+        ul: false,
+        duration_s: args.duration_s,
+        seed: args.seed,
+    });
+    let bw = midband5g::experiments::bandwidth_trace(&session.trace, 0.05);
+    let lag = video_qoe::decision_lag_s(&bw, &log, 30.0);
+    println!(
+        "session: {:.0} s | mean 5G tput {:.1} Mbps | V_MCS {:.2} | V_MIMO {:.3}",
+        log.session_s, run.mean_tput_mbps, run.mcs_variability, run.mimo_variability
+    );
+    println!(
+        "QoE: avg quality {:.2} | norm bitrate {:.2} | stalls {:.1} s ({:.2}%) | {} switches",
+        run.qoe.mean_level,
+        run.qoe.normalized_bitrate,
+        run.qoe.stall_s,
+        run.qoe.stall_pct,
+        run.qoe.switches
+    );
+    match lag {
+        Some(l) => println!(
+            "decision lag: BOLA's bitrate series best matches the channel {l:.0} s \
+             in the past — the §6.1 'clear lag' made quantitative"
+        ),
+        None => println!("decision lag: no significant channel/bitrate correlation in this run"),
+    }
+    println!();
+    println!("per-chunk log (level 0-6; '*' marks chunks that caused a stall):");
+    let mut line = String::new();
+    for c in &log.chunks {
+        line.push(char::from_digit(c.level as u32, 10).unwrap_or('?'));
+        if c.stall_s > 0.0 {
+            line.push('*');
+        }
+        if line.len() >= 72 {
+            println!("  {line}");
+            line.clear();
+        }
+    }
+    if !line.is_empty() {
+        println!("  {line}");
+    }
+    println!();
+    // Blow-up of the first stall event, like the paper's insets.
+    if let Some(stalled) = log.chunks.iter().find(|c| c.stall_s > 0.0) {
+        println!("stall inset (paper's blow-up): around chunk {}", stalled.index);
+        for c in log
+            .chunks
+            .iter()
+            .filter(|c| c.index + 3 >= stalled.index && c.index <= stalled.index + 2)
+        {
+            println!(
+                "  chunk {:>3}: level {} | requested {:>7.2} s (buffer {:>5.2} s) | arrived {:>7.2} s | measured {:>7.1} Mbps{}",
+                c.index,
+                c.level,
+                c.request_at_s,
+                c.buffer_at_request_s,
+                c.arrived_at_s,
+                c.measured_mbps,
+                if c.stall_s > 0.0 { format!(" | STALL {:.2} s", c.stall_s) } else { String::new() }
+            );
+        }
+        println!();
+        println!("Shape check: the stall follows a throughput drop while a high-");
+        println!("quality chunk is in flight — BOLA decides on past buffer state and");
+        println!("cannot foresee the drop (the paper's §6.1 mechanism).");
+    } else {
+        println!("(no stall in this seed — increase --duration or change --seed)");
+    }
+    println!();
+    println!("Paper reference run: avg quality 5.41, stall 9.96% over ~5 minutes.");
+    args.maybe_dump(&run);
+}

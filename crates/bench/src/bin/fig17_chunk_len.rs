@@ -1,0 +1,26 @@
+//! Figure 17: chunk length 1 s vs 4 s — the §6.2 QoE improvement.
+
+use midband5g::experiments::video_qoe;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(4, 60.0);
+    banner("Figure 17", "Impact of video chunk length on QoE (O_Fr, V_Ge)", &args);
+    let rows = video_qoe::figure17(args.duration_s, args.sessions, args.seed);
+    println!(
+        "{:<8} {:>8} | {:>13} {:>10}",
+        "Operator", "chunk", "norm bitrate", "stall (%)"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>6.0} s | {:>13.2} {:>10.2}",
+            r.operator, r.chunk_s, r.normalized_bitrate, r.stall_pct
+        );
+    }
+    println!();
+    println!("Paper: with 1 s chunks V_Ge's normalized bitrate improves from ~0.55");
+    println!("to ~0.9 and stall time from >1% to ~0.4% (similar gains for O_Fr) —");
+    println!("the ABR adapts at a faster time scale than the 5G channel varies.");
+    println!("Shape check: the 1 s rows dominate (≥ bitrate, ≤ stalls).");
+    args.maybe_dump(&rows);
+}

@@ -1,0 +1,45 @@
+//! Figure 18 (+ §7 aggregates): mid-band vs mmWave throughput and channel
+//! variability under walking and driving.
+
+use midband5g::experiments::mmwave;
+use midband5g_bench::{banner, fmt_rate, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(1, 20.0);
+    banner("Figure 18", "Mid-band vs mmWave under walking and driving", &args);
+    let rows = mmwave::figure18(args.duration_s, args.seed);
+    println!(
+        "{:<10} {:<9} {:>12} {:>12} {:>16} {:>16}",
+        "Tech", "Scenario", "mean", "peak (1s)", "V(τ) slot-level", "V(~0.5s)"
+    );
+    for r in &rows {
+        let v0 = r.profile.first().map(|p| p.variability).unwrap_or(0.0);
+        let vmid = r
+            .profile
+            .iter()
+            .min_by(|a, b| {
+                (a.timescale_s - 0.5)
+                    .abs()
+                    .partial_cmp(&(b.timescale_s - 0.5).abs())
+                    .expect("finite")
+            })
+            .map(|p| p.variability)
+            .unwrap_or(0.0);
+        println!(
+            "{:<10} {:<9} {:>12} {:>12} {:>16.1} {:>16.1}",
+            r.technology,
+            r.scenario,
+            fmt_rate(r.mean_mbps),
+            fmt_rate(r.peak_mbps),
+            v0,
+            vmid
+        );
+    }
+    println!();
+    println!("Paper §7 aggregates: walking 1.6 Gbps (mid) vs 3.2 Gbps (mmWave);");
+    println!("driving 935.5 Mbps vs 1.1 Gbps — the gap narrows because mmWave");
+    println!("degrades under mobility. Shape checks: mmWave means higher but its");
+    println!("relative variability consistently exceeds mid-band's, and driving");
+    println!("worsens mmWave far more than mid-band (blockage at speed).");
+    args.maybe_dump(&rows);
+}

@@ -1,0 +1,33 @@
+//! Figure 19: video QoE over mid-band vs mmWave, including the scaled-up
+//! (0.4–2.8 Gbps) ladder.
+
+use midband5g::experiments::mmwave;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(2, 40.0);
+    banner("Figure 19", "Video QoE: mid-band vs mmWave; scaled-up ladder", &args);
+    let rows = mmwave::figure19(args.duration_s, args.sessions, args.seed);
+    println!(
+        "{:<10} {:<9} {:<10} | {:>13} {:>10} | {:>12}",
+        "Tech", "Scenario", "Ladder", "norm bitrate", "stall (%)", "tput (Mbps)"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<9} {:<10} | {:>13.2} {:>10.2} | {:>12.1}",
+            r.technology,
+            r.scenario,
+            r.ladder,
+            r.qoe.normalized_bitrate,
+            r.qoe.stall_pct,
+            r.mean_tput_mbps
+        );
+    }
+    println!();
+    println!("Shape checks (paper Fig. 19): on the standard ladder mmWave lifts");
+    println!("average bitrate but pays for it with stalls versus mid-band (its");
+    println!("channel is far more variable); on the scaled-up ladder mmWave");
+    println!("struggles while driving — bitrate falls and stalls grow relative to");
+    println!("walking, the paper's 'mmWave disappointment' result.");
+    args.maybe_dump(&rows);
+}

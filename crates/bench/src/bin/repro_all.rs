@@ -1,0 +1,186 @@
+//! Regenerate every table and figure in one run (scaled-down defaults so
+//! the whole paper reproduces in a few minutes; raise --sessions/--duration
+//! for tighter estimates).
+
+use midband5g::experiments::*;
+use midband5g_bench::{fmt_rate, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(6, 8.0);
+    let (s, d, seed) = (args.sessions, args.duration_s, args.seed);
+    println!("midband5g full reproduction — {s} sessions × {d:.0} s per operator, seed {seed}\n");
+
+    println!("## Table 2/3 — network configurations");
+    for c in tables::table2().iter().chain(tables::table3().iter()) {
+        println!(
+            "  {:<10} {:<8} {} {} {:>13} MHz  N_RB {:<16} CA: {}",
+            c.acronym, c.band, c.duplexing, c.scs_khz, c.bandwidth_mhz, c.n_rbs, c.carrier_aggregation
+        );
+    }
+
+    println!("\n## §3.2 — theoretical maxima (38.306)");
+    for r in maxrate::section32() {
+        println!(
+            "  {:<10} raw {:>12}  TDD-adjusted {:>12}",
+            r.operator,
+            fmt_rate(r.formula_mbps),
+            fmt_rate(r.tdd_adjusted_mbps)
+        );
+    }
+
+    println!("\n## Fig 1 — DL throughput");
+    for r in dl_throughput::figure1(s, d, seed) {
+        println!("  {:<10} mean {:>12}", r.operator, fmt_rate(r.stats.mean));
+    }
+
+    println!("\n## Fig 2 — Spain, CQI ≥ 12");
+    for r in dl_throughput::figure2(s, d, seed) {
+        println!(
+            "  {:<10} ({} MHz) CQI≥12 {:>12}  (all: {:>12})",
+            r.operator,
+            r.bandwidth_mhz,
+            fmt_rate(r.dl_mbps_cqi12),
+            fmt_rate(r.dl_mbps_all)
+        );
+    }
+
+    println!("\n## Fig 3/4 — radio resources");
+    for r in resources::figure4(s.min(3), d.min(5.0), seed) {
+        println!(
+            "  {:<10} max RBs {:>4} of {:>4}",
+            r.operator, r.observed_max_rb, r.configured_n_rb
+        );
+    }
+
+    println!("\n## Fig 5/6 — modulation & MIMO shares (Spain)");
+    for r in shares::figure5(s, d, seed) {
+        println!(
+            "  {:<10} QPSK {:>5.1}% 16QAM {:>5.1}% 64QAM {:>5.1}% 256QAM {:>5.1}%",
+            r.operator,
+            r.qpsk * 100.0,
+            r.qam16 * 100.0,
+            r.qam64 * 100.0,
+            r.qam256 * 100.0
+        );
+    }
+    for r in shares::figure6(s, d, seed) {
+        println!(
+            "  {:<10} layers 1-4: {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}%",
+            r.operator,
+            r.layers[0] * 100.0,
+            r.layers[1] * 100.0,
+            r.layers[2] * 100.0,
+            r.layers[3] * 100.0
+        );
+    }
+
+    println!("\n## Fig 7 — coverage walk (RSRQ)");
+    let (vsp, osp) = coverage_map::figure7(6.0, seed);
+    for sdata in [&vsp, &osp] {
+        println!(
+            "  {:<10} ({} gNBs) mean RSRQ {:>6.2} dB | good {:>5.1}%",
+            sdata.operator,
+            sdata.sites,
+            sdata.mean_rsrq(),
+            100.0 * sdata.good_fraction()
+        );
+    }
+
+    println!("\n## Fig 9/10 — UL throughput");
+    for r in ul_throughput::figure9(s, d, seed) {
+        println!("  {:<10} ({:>3} MHz) CQI≥12 {:>7.1} Mbps", r.label, r.bandwidth, r.ul_mbps_good);
+    }
+    for r in ul_throughput::figure10(s, d, seed) {
+        println!(
+            "  {:<10} ({:>3} MHz) CQI≥12 {:>7.1} | CQI<10 {:>7.1} Mbps",
+            r.label, r.bandwidth, r.ul_mbps_good, r.ul_mbps_poor
+        );
+    }
+
+    println!("\n## Fig 11 — user-plane latency");
+    for r in latency::figure11(10_000, seed) {
+        println!(
+            "  {:<8} {:<12} BLER=0 {:>5.2} ms | BLER>0 {:>5.2} ms",
+            r.operator, r.pattern, r.bler_zero_ms, r.bler_positive_ms
+        );
+    }
+
+    println!("\n## Fig 12 — variability profiles (2 s annotations)");
+    for p in variability::figure12(d.max(10.0), seed) {
+        println!(
+            "  {:<10} V2s: tput {:>6.1}±{:>5.1} | MCS {:>5.2}±{:>4.2} | MIMO {:>6.3}±{:>5.3}",
+            p.operator,
+            p.annotation[0].0,
+            p.annotation[0].1,
+            p.annotation[1].0,
+            p.annotation[1].1,
+            p.annotation[2].0,
+            p.annotation[2].1
+        );
+    }
+
+    println!("\n## Fig 14 — multi-user");
+    let exp = multiuser::figure14(midband5g::operators::Operator::VerizonUs, 30_000, seed);
+    for (mode, outs) in [("sequential", &exp.sequential), ("simultaneous", &exp.simultaneous)] {
+        for o in outs.iter() {
+            println!(
+                "  {:<12} {:>4.0} m: {:>7.1} Mbps, RBs {:>6.1}",
+                mode, o.distance_m, o.dl_mbps, o.mean_rbs
+            );
+        }
+    }
+
+    println!("\n## Fig 15/16/17/24 — video QoE");
+    for r in video_qoe::figure15(30.0, seed) {
+        println!(
+            "  run {:<8} tput {:>6.1} | bitrate {:>4.2} | stalls {:>5.2}% | V_MCS {:>5.2}",
+            r.operator, r.mean_tput_mbps, r.qoe.normalized_bitrate, r.qoe.stall_pct, r.mcs_variability
+        );
+    }
+    for r in video_qoe::figure17(40.0, s.min(3), seed) {
+        println!(
+            "  {:<8} chunk {:>2.0} s: bitrate {:>4.2} | stalls {:>5.2}%",
+            r.operator, r.chunk_s, r.normalized_bitrate, r.stall_pct
+        );
+    }
+    for r in video_qoe::figure24(30.0, s.min(2), seed) {
+        println!(
+            "  {:<8} {:<11} bitrate {:>4.2} | stalls {:>5.2}%",
+            r.operator, r.abr, r.normalized_bitrate, r.stall_pct
+        );
+    }
+
+    println!("\n## Fig 18/19 — mid-band vs mmWave");
+    for r in mmwave::figure18(15.0, seed) {
+        println!(
+            "  {:<9} {:<8} mean {:>12} peak {:>12}",
+            r.technology,
+            r.scenario,
+            fmt_rate(r.mean_mbps),
+            fmt_rate(r.peak_mbps)
+        );
+    }
+
+    println!("\n## Fig 23 — carrier aggregation");
+    for r in ca::figure23(s.min(3), d.min(6.0), seed) {
+        println!(
+            "  {:<24} {:>4} MHz: mean {:>12}",
+            r.label,
+            r.aggregate_mhz,
+            fmt_rate(r.mean_mbps)
+        );
+    }
+
+    println!("\n## Table 1 — campaign stats (this run)");
+    let t = tables::table1(s.min(2), d.min(5.0), seed);
+    println!(
+        "  {} operators, {} sessions, {:.1} min, {:.4} TB",
+        t.operators.len(),
+        t.sessions,
+        t.minutes,
+        t.terabytes
+    );
+
+    println!("\nDone. Per-figure binaries (fig01…fig24, table1, table2_3,");
+    println!("sec32_maxrate) print the full paper-vs-ours comparisons.");
+}

@@ -1,0 +1,22 @@
+//! Table 1: statistics of the (simulated) measurement campaign.
+
+use midband5g::experiments::tables;
+use midband5g_bench::{banner, RunArgs};
+
+fn main() {
+    let args = RunArgs::parse(4, 10.0);
+    banner("Table 1", "Statistics of the data collected across countries", &args);
+    let t = tables::table1(args.sessions, args.duration_s, args.seed);
+    println!("Countries            : {}", t.countries.join(", "));
+    println!("Cities               : {}", t.cities.join(", "));
+    println!("Operators            : {}", t.operators.join(", "));
+    println!("Sessions executed    : {}", t.sessions);
+    println!("5G network tests     : {:.1} minutes", t.minutes);
+    println!("Data consumed on 5G  : {:.4} TB", t.terabytes);
+    println!();
+    println!("Paper (field scale)  : 7 operators, 5 countries, 5600+ min, 5.02 TB,");
+    println!("                       23 SIMs, 6 phones, 122 servers, 17 weeks.");
+    println!("The simulated campaign reproduces the structure at laptop scale;");
+    println!("scale it up with --sessions/--duration.");
+    args.maybe_dump(&t);
+}

@@ -1,0 +1,37 @@
+//! Tables 2 and 3: the EU and U.S. network configurations.
+
+use midband5g::experiments::tables;
+use midband5g_bench::RunArgs;
+
+fn print_columns(title: &str, cols: &[midband5g::experiments::tables::ConfigColumn]) {
+    println!("=== {title} ===");
+    println!(
+        "{:<10} {:<22} {:<10} {:>4} {:>5} {:>6} {:>14} {:>16} {:>16}",
+        "Country", "Operator", "Acronym", "SCS", "Dup", "Band", "BW (MHz)", "N_RBs", "CA"
+    );
+    for c in cols {
+        println!(
+            "{:<10} {:<22} {:<10} {:>4} {:>5} {:>6} {:>14} {:>16} {:>16}",
+            c.country,
+            c.operator,
+            c.acronym,
+            c.scs_khz,
+            c.duplexing,
+            c.band,
+            c.bandwidth_mhz,
+            c.n_rbs,
+            c.carrier_aggregation
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args = RunArgs::parse(0, 0.0);
+    print_columns("Table 2: EU network configs", &tables::table2());
+    print_columns("Table 3: U.S. network configs", &tables::table3());
+    println!("All values match the paper's Tables 2-3 (the T-Mobile n25 rows are");
+    println!("printed exactly as the paper prints them; see nr-phy::bandwidth for");
+    println!("the N_RB table discussion).");
+    args.maybe_dump(&(tables::table2(), tables::table3()));
+}

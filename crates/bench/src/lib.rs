@@ -1,0 +1,128 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts the same optional flags:
+//!
+//! ```text
+//! --sessions N     sessions per operator        (default per binary)
+//! --duration S     seconds per session          (default per binary)
+//! --seed X         campaign seed                (default 2024)
+//! --json PATH      also dump the result struct as JSON
+//! ```
+//!
+//! Paper-reported values are printed alongside the regenerated ones so the
+//! shape comparison (who wins, by roughly what factor) is visible at a
+//! glance; EXPERIMENTS.md records the full comparison.
+
+use serde::Serialize;
+
+/// Common CLI arguments of the regeneration binaries.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Sessions per operator.
+    pub sessions: u64,
+    /// Seconds per session.
+    pub duration_s: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Optional JSON dump path.
+    pub json: Option<String>,
+}
+
+impl RunArgs {
+    /// Parse from `std::env::args` with per-binary defaults.
+    pub fn parse(default_sessions: u64, default_duration_s: f64) -> RunArgs {
+        let mut args = RunArgs {
+            sessions: default_sessions,
+            duration_s: default_duration_s,
+            seed: 2024,
+            json: None,
+        };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < argv.len() + 1 {
+            match argv.get(i).map(String::as_str) {
+                Some("--sessions") => {
+                    args.sessions = argv
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(args.sessions);
+                    i += 2;
+                }
+                Some("--duration") => {
+                    args.duration_s = argv
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(args.duration_s);
+                    i += 2;
+                }
+                Some("--seed") => {
+                    args.seed =
+                        argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.seed);
+                    i += 2;
+                }
+                Some("--json") => {
+                    args.json = argv.get(i + 1).cloned();
+                    i += 2;
+                }
+                Some(_) => i += 1,
+                None => break,
+            }
+        }
+        args
+    }
+
+    /// Dump a serialisable result to the `--json` path, if given.
+    pub fn maybe_dump<T: Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            match serde_json::to_string_pretty(value) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(path, s) {
+                        eprintln!("warning: could not write {path}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("warning: could not serialise result: {e}"),
+            }
+        }
+    }
+}
+
+/// Print the standard experiment banner.
+pub fn banner(figure: &str, what: &str, args: &RunArgs) {
+    println!("================================================================");
+    println!("{figure} — {what}");
+    println!(
+        "(regenerated: {} sessions × {:.0} s per operator, seed {})",
+        args.sessions, args.duration_s, args.seed
+    );
+    println!("================================================================");
+}
+
+/// Format Mbps adaptively (Gbps above 1000), like the paper's two panels.
+pub fn fmt_rate(mbps: f64) -> String {
+    if mbps >= 1000.0 {
+        format!("{:.2} Gbps", mbps / 1000.0)
+    } else {
+        format!("{mbps:.1} Mbps")
+    }
+}
+
+/// Render a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(743.2), "743.2 Mbps");
+        assert_eq!(fmt_rate(1300.0), "1.30 Gbps");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.871), "87.1%");
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure 7 / Appendix 10.3 (Fig. 22): RSRQ along a walk route under the
+//! dense (V_Sp, 3 gNBs) vs sparse (O_Sp, 2 gNBs) Madrid deployments.
+
+use operators::Operator;
+use radio_channel::channel::ChannelSimulator;
+use radio_channel::geometry::Position;
+use radio_channel::mobility::MobilityModel;
+use radio_channel::rng::SeedTree;
+use serde::{Deserialize, Serialize};
+
+/// One sample of the route survey.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RouteSample {
+    /// Position along the walk.
+    pub x: f64,
+    /// Position along the walk.
+    pub y: f64,
+    /// RSRQ, dB.
+    pub rsrq_db: f64,
+    /// RSRP, dBm.
+    pub rsrp_dbm: f64,
+    /// Serving site id.
+    pub serving_site: u32,
+}
+
+/// The Fig. 7 result for one operator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteSurvey {
+    /// Operator acronym.
+    pub operator: String,
+    /// Number of gNB sites in the deployment.
+    pub sites: usize,
+    /// Samples along the walk (one per second).
+    pub samples: Vec<RouteSample>,
+}
+
+impl RouteSurvey {
+    /// Mean RSRQ along the route.
+    pub fn mean_rsrq(&self) -> f64 {
+        self.samples.iter().map(|s| s.rsrq_db).sum::<f64>() / self.samples.len().max(1) as f64
+    }
+
+    /// Mean RSRP along the route.
+    pub fn mean_rsrp(&self) -> f64 {
+        self.samples.iter().map(|s| s.rsrp_dbm).sum::<f64>() / self.samples.len().max(1) as f64
+    }
+
+    /// Fraction of the route meeting the paper's "good coverage" rule.
+    pub fn good_fraction(&self) -> f64 {
+        let good = self
+            .samples
+            .iter()
+            .filter(|s| s.rsrp_dbm > -90.0 && s.rsrq_db > -12.0)
+            .count();
+        good as f64 / self.samples.len().max(1) as f64
+    }
+}
+
+/// The shared walking route through the Madrid study area.
+fn walk_route() -> MobilityModel {
+    MobilityModel::Route {
+        waypoints: vec![
+            Position::new(-200.0, -80.0),
+            Position::new(200.0, -80.0),
+            Position::new(200.0, 80.0),
+            Position::new(-200.0, 80.0),
+        ],
+        speed_mps: 1.4,
+    }
+}
+
+/// Walk the same route under one operator's deployment, sampling once per
+/// second (the survey-app granularity of GNetTrack).
+pub fn survey(operator: Operator, walk_minutes: f64, seed: u64) -> RouteSurvey {
+    let profile = operator.profile();
+    let seeds = SeedTree::new(seed).child(profile.city);
+    let mut sim = ChannelSimulator::new(
+        profile.channel_config(&profile.carriers[0]),
+        profile.coverage.layout.clone(),
+        walk_route(),
+        &seeds,
+    );
+    let slot_s = profile.carriers[0].cell.slot_s();
+    let slots_per_sample = (1.0 / slot_s).round() as u64;
+    let total_slots = (walk_minutes * 60.0 / slot_s).round() as u64;
+    let mut samples = Vec::new();
+    for i in 0..total_slots {
+        let st = sim.step();
+        if i % slots_per_sample == 0 {
+            samples.push(RouteSample {
+                x: st.position.x,
+                y: st.position.y,
+                rsrq_db: st.measurement.rsrq_db,
+                rsrp_dbm: st.measurement.rsrp_dbm,
+                serving_site: st.serving_site,
+            });
+        }
+    }
+    RouteSurvey {
+        operator: operator.acronym().to_string(),
+        sites: profile.coverage.layout.sites.len(),
+        samples,
+    }
+}
+
+/// Figure 7: the dense-vs-sparse Madrid comparison.
+pub fn figure7(walk_minutes: f64, seed: u64) -> (RouteSurvey, RouteSurvey) {
+    (
+        survey(Operator::VodafoneSpain, walk_minutes, seed),
+        survey(Operator::OrangeSpain100, walk_minutes, seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_deployment_wins_along_the_route() {
+        let (vsp, osp) = figure7(8.0, 3);
+        assert_eq!(vsp.sites, 3);
+        assert_eq!(osp.sites, 2);
+        assert!(
+            vsp.mean_rsrp() > osp.mean_rsrp() + 2.0,
+            "RSRP {} vs {}",
+            vsp.mean_rsrp(),
+            osp.mean_rsrp()
+        );
+        assert!(
+            vsp.good_fraction() >= osp.good_fraction(),
+            "good fraction {} vs {}",
+            vsp.good_fraction(),
+            osp.good_fraction()
+        );
+    }
+
+    #[test]
+    fn samples_cover_the_route() {
+        let s = survey(Operator::VodafoneSpain, 4.0, 5);
+        assert_eq!(s.samples.len(), 240);
+        let xs: Vec<f64> = s.samples.iter().map(|p| p.x).collect();
+        let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 200.0, "the walk should traverse the area: {spread}");
+    }
+}

@@ -1,0 +1,445 @@
+//! Beyond the paper's figures: the extensions its text calls for.
+//!
+//! * [`aware_abr_comparison`] — the paper's concluding recommendation
+//!   ("make applications 5G-network-aware") implemented and evaluated:
+//!   BOLA vs the churn-adaptive [`video::abr::NetworkAware`] controller
+//!   over the erratic channels where it should matter (mmWave under
+//!   mobility, the most variable mid-band channel);
+//! * [`tdd_frontier`] — the TDD frame-structure analysis the paper defers
+//!   ("due to its technical intricacies, we delegate the discussion of
+//!   TDD frame structure and its implications … to future works"): the
+//!   DL-capacity / UL-capacity / latency frontier traced across the
+//!   patterns seen in the wild.
+
+use super::bandwidth_trace;
+use measure::session::{MobilityKind, SessionResult, SessionSpec};
+use nr_phy::tdd::{SpecialSlotConfig, TddPattern};
+use nr_phy::throughput::{max_data_rate_mbps_tdd, CarrierRange, CarrierSpec, LinkDirection};
+use operators::Operator;
+use radio_channel::rng::SeedTree;
+use ran::latency::{mean_total_ms, run_probes, LatencyProbeConfig};
+use serde::{Deserialize, Serialize};
+use video::{AbrKind, PlayerConfig, PlayerSim, QoeMetrics, QualityLadder};
+
+/// One ABR × channel outcome of the 5G-awareness study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AwareAbrRow {
+    /// Channel label.
+    pub channel: String,
+    /// ABR name.
+    pub abr: String,
+    /// Mean normalized bitrate over the repetitions.
+    pub normalized_bitrate: f64,
+    /// Mean stall percentage.
+    pub stall_pct: f64,
+    /// Mean quality switches per run.
+    pub switches: f64,
+}
+
+/// BOLA vs the 5G-aware controller over erratic channels.
+pub fn aware_abr_comparison(duration_s: f64, reps: u64, seed: u64) -> Vec<AwareAbrRow> {
+    let mut rows = Vec::new();
+    let cases: [(&str, Operator, MobilityKind, QualityLadder); 3] = [
+        (
+            "mmWave driving (scaled ladder)",
+            Operator::VerizonMmwaveUs,
+            MobilityKind::Driving,
+            QualityLadder::paper_mmwave(),
+        ),
+        (
+            "mmWave walking (standard ladder)",
+            Operator::VerizonMmwaveUs,
+            MobilityKind::Walking,
+            QualityLadder::paper_midband().with_chunk_s(1.0),
+        ),
+        (
+            "O_Sp 100 MHz stationary",
+            Operator::OrangeSpain100,
+            MobilityKind::Stationary { spot: 0 },
+            QualityLadder::paper_midband(),
+        ),
+    ];
+    for (label, op, mobility, ladder) in cases {
+        for abr in [AbrKind::Bola, AbrKind::NetworkAware] {
+            let mut nb = 0.0;
+            let mut sp = 0.0;
+            let mut sw = 0.0;
+            for r in 0..reps {
+                let session = SessionResult::run(SessionSpec {
+                    operator: op,
+                    mobility,
+                    dl: true,
+                    ul: false,
+                    duration_s,
+                    seed: seed + r,
+                });
+                let bw = bandwidth_trace(&session.trace, 0.05);
+                let mut algo = abr.build();
+                let log = PlayerSim::new(ladder.clone(), PlayerConfig::default(), &bw)
+                    .play(algo.as_mut());
+                let qoe = QoeMetrics::from_log(&log, &ladder);
+                nb += qoe.normalized_bitrate;
+                sp += qoe.stall_pct;
+                sw += qoe.switches as f64;
+            }
+            rows.push(AwareAbrRow {
+                channel: label.to_string(),
+                abr: abr.to_string(),
+                normalized_bitrate: nb / reps as f64,
+                stall_pct: sp / reps as f64,
+                switches: sw / reps as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// One TDD pattern's point on the capacity/latency frontier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TddFrontierRow {
+    /// Pattern string.
+    pub pattern: String,
+    /// Special-slot split.
+    pub special: String,
+    /// DL symbol duty cycle.
+    pub dl_duty: f64,
+    /// UL symbol duty cycle.
+    pub ul_duty: f64,
+    /// DL capacity ceiling for a 90 MHz 4×4 256QAM carrier, Mbps.
+    pub dl_ceiling_mbps: f64,
+    /// UL capacity ceiling (1 layer), Mbps.
+    pub ul_ceiling_mbps: f64,
+    /// Mean user-plane latency (BLER = 0), ms.
+    pub latency_ms: f64,
+}
+
+/// The frame-structure frontier: every pattern the study's operators use,
+/// plus standard alternatives, on one 90 MHz carrier.
+pub fn tdd_frontier(probes: usize, seed: u64) -> Vec<TddFrontierRow> {
+    let s_no_ul = SpecialSlotConfig { dl_symbols: 12, guard_symbols: 2, ul_symbols: 0 };
+    let patterns: Vec<(&str, SpecialSlotConfig)> = vec![
+        ("DDDSU", SpecialSlotConfig::BALANCED),
+        ("DDDSU", SpecialSlotConfig::DL_HEAVY),
+        ("DDSU", SpecialSlotConfig::BALANCED),
+        ("DDDDDDDSUU", SpecialSlotConfig::DL_HEAVY),
+        ("DDDDDDDSUU", s_no_ul),
+        ("DDDSUUDDDD", SpecialSlotConfig::DL_HEAVY),
+        ("DSUUU", SpecialSlotConfig::BALANCED),
+    ];
+    let dl_cc = CarrierSpec {
+        layers: 4,
+        modulation: nr_phy::mcs::Modulation::Qam256,
+        scaling: 1.0,
+        numerology: nr_phy::Numerology::Mu1,
+        n_rb: 245,
+        range: CarrierRange::Fr1,
+    };
+    let ul_cc = CarrierSpec { layers: 1, ..dl_cc };
+    patterns
+        .into_iter()
+        .map(|(p, special)| {
+            let pattern = TddPattern::parse(p, special).expect("static patterns are valid");
+            let dl = max_data_rate_mbps_tdd(&[dl_cc], &[Some(&pattern)], LinkDirection::Downlink)
+                .expect("valid spec");
+            let ul = max_data_rate_mbps_tdd(&[ul_cc], &[Some(&pattern)], LinkDirection::Uplink)
+                .expect("valid spec");
+            let samples = run_probes(
+                &pattern,
+                &LatencyProbeConfig::default(),
+                probes,
+                Some(false),
+                &SeedTree::new(seed).child(p),
+            );
+            TddFrontierRow {
+                pattern: p.to_string(),
+                special: format!(
+                    "{}D:{}G:{}U",
+                    special.dl_symbols, special.guard_symbols, special.ul_symbols
+                ),
+                dl_duty: pattern.dl_duty_cycle(),
+                ul_duty: pattern.ul_duty_cycle(),
+                dl_ceiling_mbps: dl,
+                ul_ceiling_mbps: ul,
+                latency_ms: mean_total_ms(&samples),
+            }
+        })
+        .collect()
+}
+
+/// One row of the offered-load sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadSweepRow {
+    /// Offered load, Mbps.
+    pub offered_mbps: f64,
+    /// Delivered goodput, Mbps.
+    pub delivered_mbps: f64,
+    /// Mean queueing delay via Little's law (mean backlog / offered rate),
+    /// milliseconds.
+    pub queue_delay_ms: f64,
+    /// Fraction of DL slots carrying a grant.
+    pub utilisation: f64,
+}
+
+/// Offered-load sweep over one V_Sp-class carrier: goodput tracks load
+/// until the channel saturates, after which the queue (and its delay)
+/// blows up — the classic utilisation curve, built on the
+/// [`ran::traffic`] sources the paper's full-buffer methodology never
+/// exercises.
+pub fn load_sweep(rates_mbps: &[f64], duration_s: f64, seed: u64) -> Vec<LoadSweepRow> {
+    use radio_channel::channel::ChannelSimulator;
+    use radio_channel::geometry::{DeploymentLayout, Position};
+    use radio_channel::mobility::MobilityModel;
+    use ran::carrier::{Carrier, TrafficPattern};
+    use ran::config::CellConfig;
+    use ran::kpi::Direction;
+    use ran::traffic::TrafficSource;
+
+    let profile = Operator::VodafoneSpain.profile();
+    let pos = Position::new(100.0, 0.0);
+    rates_mbps
+        .iter()
+        .map(|&rate| {
+            // One shared channel realisation across rates, so the sweep varies
+            // only the offered load.
+            let seeds = SeedTree::new(seed).child("load");
+            let cfg = CellConfig::midband(90, "DDDSU");
+            let channel = ChannelSimulator::new(
+                profile.channel_config(&profile.carriers[0]),
+                DeploymentLayout::single_site(),
+                MobilityModel::Stationary { position: pos },
+                &seeds,
+            );
+            let mut carrier =
+                Carrier::new(cfg, 0, channel, profile.link_model(&profile.carriers[0]), &seeds);
+            carrier.set_dl_traffic(TrafficSource::Cbr { rate_mbps: rate }, &seeds);
+            let slots = (duration_s / carrier.slot_s()).round() as u64;
+            let mut trace = ran::kpi::KpiTrace::new();
+            let mut backlog_sum = 0.0;
+            for _ in 0..slots {
+                let out = carrier.step(pos, 0.0, TrafficPattern::DL, false, 1.0, 1.0);
+                backlog_sum += carrier.dl_traffic().backlog_bits();
+                trace.push(out.dl);
+            }
+            let delivered = trace.mean_throughput_mbps(Direction::Dl);
+            let mean_backlog = backlog_sum / slots as f64;
+            let total = trace.direction(Direction::Dl).count().max(1);
+            let scheduled = trace.direction(Direction::Dl).filter(|r| r.scheduled).count();
+            LoadSweepRow {
+                offered_mbps: rate,
+                delivered_mbps: delivered,
+                queue_delay_ms: mean_backlog / (rate * 1e6) * 1e3,
+                utilisation: scheduled as f64 / total as f64,
+            }
+        })
+        .collect()
+}
+
+/// One row of the RRC warm-up study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RrcWarmupRow {
+    /// Transfer size, megabits.
+    pub transfer_mbit: f64,
+    /// Completion time from RRC idle (promotion paid), ms.
+    pub cold_ms: f64,
+    /// Completion time with the paper's warm-up procedure, ms.
+    pub warm_ms: f64,
+    /// Relative overhead of the cold start.
+    pub overhead: f64,
+}
+
+/// Why the paper's §2 ❺ methodology matters: the RRC idle→connected
+/// promotion dominates short transfers and would contaminate latency and
+/// short-burst throughput measurements. Completion time = (promotion if
+/// cold) + user-plane latency + transfer time on a V_Sp-class channel.
+pub fn rrc_warmup_study(seed: u64) -> Vec<RrcWarmupRow> {
+    use ran::rrc::{RrcMachine, RrcTimings};
+    // Channel/latency context from V_Sp.
+    let profile = Operator::VodafoneSpain.profile();
+    let pattern = profile.tdd_pattern().expect("V_Sp is TDD").clone();
+    let latency = run_probes(
+        &pattern,
+        &LatencyProbeConfig::default(),
+        5_000,
+        None,
+        &SeedTree::new(seed).child("rrc"),
+    );
+    let up_ms = mean_total_ms(&latency);
+    // Effective DL rate of a warm V_Sp channel, Mbps (a mid-estimate; the
+    // study's point is the *ratio*, which is promotion-dominated).
+    let rate_mbps = 700.0;
+    [0.1f64, 1.0, 10.0, 100.0, 1000.0]
+        .into_iter()
+        .map(|transfer_mbit| {
+            let transfer_ms = transfer_mbit / rate_mbps * 1e3;
+            let mut cold_machine = RrcMachine::new(RrcTimings::default());
+            let promotion_ms = cold_machine.on_data(0.0);
+            let mut warm_machine = RrcMachine::warmed_up(RrcTimings::default(), 0.0);
+            let warm_promotion = warm_machine.on_data(5_000.0);
+            let cold_ms = promotion_ms + up_ms + transfer_ms;
+            let warm_ms = warm_promotion + up_ms + transfer_ms;
+            RrcWarmupRow {
+                transfer_mbit,
+                cold_ms,
+                warm_ms,
+                overhead: cold_ms / warm_ms - 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Handover behaviour along the driving loop — how often the serving cell
+/// changes under each deployment (the mobility-management angle the paper
+/// cites from its companion studies).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HandoverRow {
+    /// Operator acronym.
+    pub operator: String,
+    /// Number of gNB sites.
+    pub sites: usize,
+    /// Serving-cell changes per minute of driving.
+    pub handovers_per_min: f64,
+    /// Mean DL throughput during the drive, Mbps.
+    pub dl_mbps: f64,
+}
+
+/// Count serving-cell changes while driving the study loop.
+pub fn handover_study(duration_s: f64, seed: u64) -> Vec<HandoverRow> {
+    [Operator::VodafoneSpain, Operator::OrangeSpain100, Operator::VerizonMmwaveUs]
+        .iter()
+        .map(|&op| {
+            let session = SessionResult::run(SessionSpec {
+                operator: op,
+                mobility: MobilityKind::Driving,
+                dl: true,
+                ul: false,
+                duration_s,
+                seed,
+            });
+            let mut handovers = 0u64;
+            let mut prev = None;
+            for r in session.trace.records.iter().filter(|r| r.carrier == 0) {
+                if let Some(p) = prev {
+                    if p != r.serving_site {
+                        handovers += 1;
+                    }
+                }
+                prev = Some(r.serving_site);
+            }
+            HandoverRow {
+                operator: op.acronym().to_string(),
+                sites: op.profile().coverage.layout.sites.len(),
+                handovers_per_min: handovers as f64 / (duration_s / 60.0),
+                dl_mbps: session.trace.mean_throughput_mbps(ran::kpi::Direction::Dl),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sweep_shows_the_utilisation_knee() {
+        let rows = load_sweep(&[100.0, 400.0, 2000.0], 6.0, 11);
+        // Below capacity: delivered ≈ offered, delay small.
+        assert!((rows[0].delivered_mbps - 100.0).abs() < 15.0, "{:?}", rows[0]);
+        assert!(rows[0].queue_delay_ms < 20.0, "{:?}", rows[0]);
+        // Far above capacity: delivered saturates well below offered and
+        // the queue delay explodes.
+        assert!(rows[2].delivered_mbps < 1500.0, "{:?}", rows[2]);
+        assert!(
+            rows[2].queue_delay_ms > 20.0 * rows[0].queue_delay_ms.max(0.05),
+            "{:?}",
+            rows[2]
+        );
+        // Utilisation never falls with load (a smooth CBR source keeps
+        // every DL slot busy with small TBs even at low load, so the
+        // interesting signal is the delay knee above, not slot counts).
+        assert!(rows[2].utilisation >= rows[0].utilisation - 0.05);
+    }
+
+    #[test]
+    fn rrc_promotion_dominates_short_transfers() {
+        let rows = rrc_warmup_study(3);
+        assert_eq!(rows.len(), 5);
+        // A 100 kb ping-like transfer: cold start is several times slower.
+        assert!(rows[0].overhead > 2.0, "overhead {}", rows[0].overhead);
+        // A 1 Gb bulk transfer: promotion vanishes in the noise.
+        assert!(rows[4].overhead < 0.2, "overhead {}", rows[4].overhead);
+        // Overhead decreases monotonically with transfer size.
+        for w in rows.windows(2) {
+            assert!(w[1].overhead < w[0].overhead);
+        }
+    }
+
+    #[test]
+    fn handover_rates_are_sane_under_hysteresis() {
+        // With A3 hysteresis, a driving UE hands over a handful of times
+        // per minute — not per second (ping-pong) and not never. Which
+        // deployment hands over more depends on where the drive loop
+        // crosses cell borders, so no ordering is asserted.
+        let rows = handover_study(30.0, 9);
+        for r in &rows {
+            assert!(
+                r.handovers_per_min >= 1.0 && r.handovers_per_min <= 60.0,
+                "{}: {} handovers/min",
+                r.operator,
+                r.handovers_per_min
+            );
+            // Every deployment keeps serving the driving UE (the sparse
+            // grid's loop crosses deep coverage nulls, so its mean is low
+            // but non-zero — the §7 "driving narrows the gap" effect).
+            assert!(r.dl_mbps > 5.0, "{}: {}", r.operator, r.dl_mbps);
+        }
+    }
+
+    #[test]
+    fn aware_abr_reduces_stalls_on_erratic_channels() {
+        let rows = aware_abr_comparison(30.0, 2, 101);
+        assert_eq!(rows.len(), 6);
+        // Aggregate across channels: the aware controller must not stall
+        // more, at a bounded bitrate cost.
+        let total = |abr: &str, f: fn(&AwareAbrRow) -> f64| -> f64 {
+            rows.iter().filter(|r| r.abr == abr).map(f).sum()
+        };
+        let bola_stall = total("BOLA", |r| r.stall_pct);
+        let aware_stall = total("5G-aware", |r| r.stall_pct);
+        assert!(
+            aware_stall <= bola_stall + 0.5,
+            "aware {aware_stall} vs BOLA {bola_stall}"
+        );
+        let bola_rate = total("BOLA", |r| r.normalized_bitrate);
+        let aware_rate = total("5G-aware", |r| r.normalized_bitrate);
+        assert!(aware_rate > bola_rate * 0.6, "bitrate cost bounded: {aware_rate} vs {bola_rate}");
+    }
+
+    #[test]
+    fn tdd_frontier_trades_capacity_for_latency() {
+        let rows = tdd_frontier(4000, 5);
+        // DL ceiling is monotone in DL duty by construction.
+        for r in &rows {
+            assert!((r.dl_ceiling_mbps / 2097.3 - r.dl_duty).abs() < 0.01, "{}", r.pattern);
+        }
+        // The frontier: the most DL-heavy pattern has the worst latency,
+        // the most UL-generous pattern the best.
+        let heaviest = rows
+            .iter()
+            .max_by(|a, b| a.dl_duty.partial_cmp(&b.dl_duty).expect("finite"))
+            .unwrap();
+        let lightest = rows
+            .iter()
+            .min_by(|a, b| a.dl_duty.partial_cmp(&b.dl_duty).expect("finite"))
+            .unwrap();
+        assert!(
+            heaviest.latency_ms > lightest.latency_ms,
+            "{} {} vs {} {}",
+            heaviest.pattern,
+            heaviest.latency_ms,
+            lightest.pattern,
+            lightest.latency_ms
+        );
+        // UL ceilings order opposite to DL ceilings across the extremes.
+        assert!(heaviest.ul_ceiling_mbps < lightest.ul_ceiling_mbps);
+    }
+}

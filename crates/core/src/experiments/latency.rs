@@ -1,0 +1,38 @@
+//! Figure 11: PHY user-plane latency per operator, split by BLER.
+
+use measure::latency::{measure_latency, LatencyResult};
+use operators::Operator;
+
+/// The four representative EU operators of Fig. 11, in its bar order.
+pub const FIG11_OPERATORS: [Operator; 4] = [
+    Operator::VodafoneItaly,
+    Operator::VodafoneGermany,
+    Operator::OrangeFrance,
+    Operator::TelekomGermany,
+];
+
+/// Figure 11: user-plane latency (DL+UL) per operator, BLER = 0 and
+/// BLER > 0 panels.
+pub fn figure11(probes: usize, seed: u64) -> Vec<LatencyResult> {
+    FIG11_OPERATORS.iter().map(|&op| measure_latency(op, probes, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure11_reproduces_the_pattern_ordering() {
+        let rows = figure11(5000, 7);
+        assert_eq!(rows.len(), 4);
+        let by = |n: &str| rows.iter().find(|r| r.operator == n).unwrap();
+        // V_It (DDDDDDDSUU, UL-free S) worst; V_Ge (DDDSU balanced) best.
+        assert!(by("V_It").bler_zero_ms > by("V_Ge").bler_zero_ms);
+        assert!(by("O_Fr").bler_zero_ms > by("T_Ge").bler_zero_ms);
+        // BLER > 0 adds sub-millisecond to low-millisecond penalties.
+        for r in &rows {
+            let delta = r.bler_positive_ms - r.bler_zero_ms;
+            assert!(delta > 0.0 && delta < 6.0, "{}: Δ {delta}", r.operator);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! §7 and Figures 18–19: 5G mid-band vs 5G mmWave under mobility.
+
+use super::bandwidth_trace;
+use analysis::variability::{variability_profile, VariabilityPoint};
+use measure::session::{MobilityKind, SessionResult, SessionSpec};
+use operators::Operator;
+use ran::kpi::Direction;
+use serde::{Deserialize, Serialize};
+use video::{AbrKind, PlayerConfig, PlayerSim, QoeMetrics, QualityLadder};
+
+/// One §7 mobility measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobilityThroughput {
+    /// "mid-band" or "mmWave".
+    pub technology: String,
+    /// "walking" or "driving".
+    pub scenario: String,
+    /// Mean DL throughput, Mbps.
+    pub mean_mbps: f64,
+    /// Peak (1 s) DL throughput, Mbps.
+    pub peak_mbps: f64,
+    /// V(t) profile of the slot-level throughput series.
+    pub profile: Vec<VariabilityPoint>,
+}
+
+fn mobility_of(kind: &str) -> MobilityKind {
+    match kind {
+        "walking" => MobilityKind::Walking,
+        _ => MobilityKind::Driving,
+    }
+}
+
+fn run_one(op: Operator, tech: &str, scenario: &str, duration_s: f64, seed: u64) -> MobilityThroughput {
+    let session = SessionResult::run(SessionSpec {
+        operator: op,
+        mobility: mobility_of(scenario),
+        dl: true,
+        ul: false,
+        duration_s,
+        seed,
+    });
+    let series = session.trace.throughput_series_mbps(Direction::Dl, 1.0);
+    let slot_s = op.profile().carriers[0].cell.slot_s();
+    let slot_tput: Vec<f64> = session
+        .trace
+        .records
+        .iter()
+        .filter(|r| r.carrier == 0 && r.direction == Direction::Dl)
+        .map(|r| f64::from(r.delivered_bits) / slot_s / 1e6)
+        .collect();
+    MobilityThroughput {
+        technology: tech.to_string(),
+        scenario: scenario.to_string(),
+        mean_mbps: session.trace.mean_throughput_mbps(Direction::Dl),
+        peak_mbps: series.iter().cloned().fold(0.0, f64::max),
+        profile: variability_profile(&slot_tput, slot_s, 4),
+    }
+}
+
+/// Figure 18 (+ the §7 aggregate numbers): mid-band vs mmWave throughput
+/// and variability under walking and driving.
+pub fn figure18(duration_s: f64, seed: u64) -> Vec<MobilityThroughput> {
+    let mut out = Vec::new();
+    for scenario in ["walking", "driving"] {
+        out.push(run_one(Operator::TMobileUs, "mid-band", scenario, duration_s, seed));
+        out.push(run_one(Operator::VerizonMmwaveUs, "mmWave", scenario, duration_s, seed));
+    }
+    out
+}
+
+/// One Fig. 19 point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MmwaveQoePoint {
+    /// "mid-band" / "mmWave".
+    pub technology: String,
+    /// Mobility scenario.
+    pub scenario: String,
+    /// Ladder used ("standard" 30–750 Mbps or "scaled-up" 0.4–2.8 Gbps).
+    pub ladder: String,
+    /// QoE of the run.
+    pub qoe: QoeMetrics,
+    /// Mean channel throughput during the run, Mbps.
+    pub mean_tput_mbps: f64,
+}
+
+/// Figure 19: (a) standard ladder over mid-band vs mmWave while walking;
+/// (b) the scaled-up ladder over mmWave, walking vs driving.
+pub fn figure19(duration_s: f64, reps: u64, seed: u64) -> Vec<MmwaveQoePoint> {
+    let mut out = Vec::new();
+    let standard = QualityLadder::paper_midband().with_chunk_s(1.0);
+    let scaled = QualityLadder::paper_mmwave();
+
+    let mut run = |op: Operator, tech: &str, scenario: &str, ladder: &QualityLadder, label: &str| {
+        for r in 0..reps {
+            let session = SessionResult::run(SessionSpec {
+                operator: op,
+                mobility: mobility_of(scenario),
+                dl: true,
+                ul: false,
+                duration_s,
+                seed: seed + r,
+            });
+            let bw = bandwidth_trace(&session.trace, 0.05);
+            let mut abr = AbrKind::Bola.build();
+            let log =
+                PlayerSim::new(ladder.clone(), PlayerConfig::default(), &bw).play(abr.as_mut());
+            out.push(MmwaveQoePoint {
+                technology: tech.to_string(),
+                scenario: scenario.to_string(),
+                ladder: label.to_string(),
+                qoe: QoeMetrics::from_log(&log, ladder),
+                mean_tput_mbps: session.trace.mean_throughput_mbps(Direction::Dl),
+            });
+        }
+    };
+
+    // Experiment set (a): standard ladder, walking.
+    run(Operator::TMobileUs, "mid-band", "walking", &standard, "standard");
+    run(Operator::VerizonMmwaveUs, "mmWave", "walking", &standard, "standard");
+    // Experiment set (b): scaled-up ladder over mmWave, walking + driving.
+    run(Operator::VerizonMmwaveUs, "mmWave", "walking", &scaled, "scaled-up");
+    run(Operator::VerizonMmwaveUs, "mmWave", "driving", &scaled, "scaled-up");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig18_mmwave_faster_but_far_more_variable() {
+        let rows = figure18(10.0, 61);
+        let find = |tech: &str, sc: &str| {
+            rows.iter().find(|r| r.technology == tech && r.scenario == sc).unwrap()
+        };
+        let mid_walk = find("mid-band", "walking");
+        let mmw_walk = find("mmWave", "walking");
+        assert!(
+            mmw_walk.mean_mbps > mid_walk.mean_mbps,
+            "mmWave {} vs mid {}",
+            mmw_walk.mean_mbps,
+            mid_walk.mean_mbps
+        );
+        // Normalised variability (V/mean) at small scales: mmWave worse.
+        let norm_v = |r: &MobilityThroughput| {
+            r.profile.first().map(|p| p.variability).unwrap_or(0.0) / r.mean_mbps.max(1e-9)
+        };
+        assert!(
+            norm_v(mmw_walk) > norm_v(mid_walk),
+            "mmWave churn {} vs mid {}",
+            norm_v(mmw_walk),
+            norm_v(mid_walk)
+        );
+        // Driving narrows the throughput gap (blockage bites harder).
+        let mid_drive = find("mid-band", "driving");
+        let mmw_drive = find("mmWave", "driving");
+        let walk_gap = mmw_walk.mean_mbps / mid_walk.mean_mbps;
+        let drive_gap = mmw_drive.mean_mbps / mid_drive.mean_mbps;
+        assert!(drive_gap < walk_gap, "drive gap {drive_gap} vs walk gap {walk_gap}");
+    }
+
+    #[test]
+    fn fig19_scaled_up_struggles_while_driving() {
+        let rows = figure19(25.0, 2, 63);
+        let mean = |tech: &str, sc: &str, ladder: &str, f: fn(&MmwaveQoePoint) -> f64| {
+            let sel: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.technology == tech && r.scenario == sc && r.ladder == ladder)
+                .map(f)
+                .collect();
+            sel.iter().sum::<f64>() / sel.len().max(1) as f64
+        };
+        // (b): the scaled-up ladder degrades from walking to driving.
+        let walk_bitrate = mean("mmWave", "walking", "scaled-up", |r| r.qoe.normalized_bitrate);
+        let drive_bitrate = mean("mmWave", "driving", "scaled-up", |r| r.qoe.normalized_bitrate);
+        let walk_stall = mean("mmWave", "walking", "scaled-up", |r| r.qoe.stall_pct);
+        let drive_stall = mean("mmWave", "driving", "scaled-up", |r| r.qoe.stall_pct);
+        assert!(
+            drive_bitrate <= walk_bitrate + 0.02,
+            "bitrate {drive_bitrate} vs {walk_bitrate}"
+        );
+        assert!(drive_stall >= walk_stall - 0.5, "stall {drive_stall} vs {walk_stall}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Figure 14: variability between users in the same cell — two locations
+//! (45 m / 117 m from the gNB), measured sequentially and simultaneously.
+
+use analysis::variability::variability;
+use operators::Operator;
+use radio_channel::channel::ChannelSimulator;
+use radio_channel::geometry::{DeploymentLayout, Position};
+use radio_channel::mobility::MobilityModel;
+use radio_channel::rng::SeedTree;
+use ran::carrier::Carrier;
+use ran::kpi::{Direction, KpiTrace};
+use ran::multiuser::{MultiUeParticipant, MultiUeSim};
+use ran::scheduler::SchedulerPolicy;
+use serde::{Deserialize, Serialize};
+
+/// One location's outcome in one mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocationOutcome {
+    /// Distance from the gNB, metres.
+    pub distance_m: f64,
+    /// Mean DL throughput, Mbps.
+    pub dl_mbps: f64,
+    /// Mean RBs per scheduled slot.
+    pub mean_rbs: f64,
+    /// V(60 ms) of the MCS series (channel variability proxy).
+    pub mcs_variability: f64,
+    /// V(60 ms) of the MIMO-layer series.
+    pub mimo_variability: f64,
+}
+
+/// The full Fig. 14 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiUserExperiment {
+    /// Each location measured alone (sequential runs).
+    pub sequential: Vec<LocationOutcome>,
+    /// Both locations active at once.
+    pub simultaneous: Vec<LocationOutcome>,
+}
+
+fn participant(
+    op: Operator,
+    distance_m: f64,
+    index: u64,
+    active: bool,
+    seeds: &SeedTree,
+) -> MultiUeParticipant {
+    let profile = op.profile();
+    let cfg = profile.carriers[0].cell.clone();
+    let pos = Position::new(distance_m, 0.0);
+    let ue_seeds = seeds.child_indexed("ue", index);
+    let channel = ChannelSimulator::new(
+        profile.channel_config(&profile.carriers[0]),
+        DeploymentLayout::single_site(),
+        MobilityModel::Stationary { position: pos },
+        &ue_seeds,
+    );
+    MultiUeParticipant {
+        carrier: Carrier::new(cfg, 0, channel, profile.link_model(&profile.carriers[0]), &ue_seeds),
+        position: pos,
+        active,
+    }
+}
+
+fn outcome(trace: &KpiTrace, distance_m: f64) -> LocationOutcome {
+    let scheduled: Vec<&ran::kpi::SlotKpi> =
+        trace.direction(Direction::Dl).filter(|r| r.scheduled).collect();
+    let mean_rbs = scheduled.iter().map(|r| f64::from(r.n_prb)).sum::<f64>()
+        / scheduled.len().max(1) as f64;
+    let mcs: Vec<f64> = scheduled.iter().map(|r| f64::from(r.mcs)).collect();
+    let layers: Vec<f64> = scheduled.iter().map(|r| f64::from(r.layers)).collect();
+    // 60 ms blocks at ~0.5 ms per scheduled slot ≈ 120 samples.
+    let block = 120;
+    LocationOutcome {
+        distance_m,
+        dl_mbps: trace.mean_throughput_mbps(Direction::Dl),
+        mean_rbs,
+        mcs_variability: variability(&mcs, block).unwrap_or(0.0),
+        mimo_variability: variability(&layers, block).unwrap_or(0.0),
+    }
+}
+
+/// Figure 14: the two-location, sequential-vs-simultaneous experiment
+/// (run on a single-site cell of the given US operator, as in the paper).
+pub fn figure14(op: Operator, slots: u64, seed: u64) -> MultiUserExperiment {
+    let distances = [45.0, 117.0];
+    let seeds = SeedTree::new(seed).child("fig14");
+
+    let sequential = distances
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let mut sim = MultiUeSim::new(
+                vec![
+                    participant(op, distances[0], 0, i == 0, &seeds),
+                    participant(op, distances[1], 1, i == 1, &seeds),
+                ],
+                SchedulerPolicy::EqualShare,
+            );
+            let traces = sim.run(slots);
+            outcome(&traces[i], d)
+        })
+        .collect();
+
+    let simultaneous = {
+        let mut sim = MultiUeSim::new(
+            vec![
+                participant(op, distances[0], 0, true, &seeds),
+                participant(op, distances[1], 1, true, &seeds),
+            ],
+            SchedulerPolicy::EqualShare,
+        );
+        let traces = sim.run(slots);
+        distances.iter().enumerate().map(|(i, &d)| outcome(&traces[i], d)).collect()
+    };
+
+    MultiUserExperiment { sequential, simultaneous }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_findings() {
+        let exp = figure14(Operator::VerizonUs, 30_000, 3);
+        let seq_a = &exp.sequential[0];
+        let seq_b = &exp.sequential[1];
+        let sim_a = &exp.simultaneous[0];
+        let sim_b = &exp.simultaneous[1];
+
+        // Sequential runs see (nearly) the whole carrier; simultaneous RBs
+        // drop to about half (paper: 172/162 → 110/103).
+        assert!(sim_a.mean_rbs < seq_a.mean_rbs * 0.62, "{} vs {}", sim_a.mean_rbs, seq_a.mean_rbs);
+        assert!(sim_b.mean_rbs < seq_b.mean_rbs * 0.62);
+
+        // Throughput roughly halves.
+        assert!(sim_a.dl_mbps < seq_a.dl_mbps * 0.7);
+        assert!(sim_b.dl_mbps < seq_b.dl_mbps * 0.7);
+
+        // Channel variability is a property of the location, not of the
+        // number of users: MCS variability barely moves between modes.
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-9);
+        assert!(
+            rel(sim_b.mcs_variability, seq_b.mcs_variability) < 0.8,
+            "{} vs {}",
+            sim_b.mcs_variability,
+            seq_b.mcs_variability
+        );
+    }
+}

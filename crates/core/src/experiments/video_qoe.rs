@@ -1,0 +1,281 @@
+//! Figures 15, 16, 17 and 24: video streaming over 5G mid-band.
+
+use super::bandwidth_trace;
+use analysis::variability::variability;
+use measure::session::{MobilityKind, SessionResult, SessionSpec};
+use operators::Operator;
+use ran::kpi::Direction;
+use serde::{Deserialize, Serialize};
+use video::{AbrKind, PlaybackLog, PlayerConfig, PlayerSim, QoeMetrics, QualityLadder};
+
+/// One streaming run with its PHY-side variability — one point of the
+/// Fig. 15 scatter pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingRun {
+    /// Operator acronym.
+    pub operator: String,
+    /// Seed of the underlying channel session.
+    pub seed: u64,
+    /// Mean 5G throughput during the experiment, Mbps.
+    pub mean_tput_mbps: f64,
+    /// V(150 ms) of the MCS series during the run.
+    pub mcs_variability: f64,
+    /// V(150 ms) of the MIMO-layer series.
+    pub mimo_variability: f64,
+    /// The application QoE.
+    pub qoe: QoeMetrics,
+}
+
+/// Run one video-over-5G experiment: simulate the channel, derive its
+/// capacity trace, and stream over it with the given ABR and ladder.
+pub fn stream_over(
+    op: Operator,
+    ladder: &QualityLadder,
+    abr: AbrKind,
+    mobility: MobilityKind,
+    duration_s: f64,
+    seed: u64,
+) -> (StreamingRun, PlaybackLog) {
+    let session = SessionResult::run(SessionSpec {
+        operator: op,
+        mobility,
+        dl: true,
+        ul: false,
+        duration_s,
+        seed,
+    });
+    let bw = bandwidth_trace(&session.trace, 0.05);
+    let mut algo = abr.build();
+    let log = PlayerSim::new(ladder.clone(), PlayerConfig::default(), &bw).play(algo.as_mut());
+    let qoe = QoeMetrics::from_log(&log, ladder);
+
+    // PHY-side variability at 150 ms (the Fig. 15 right-panel scale).
+    let scheduled: Vec<&ran::kpi::SlotKpi> = session
+        .trace
+        .records
+        .iter()
+        .filter(|r| r.carrier == 0 && r.direction == Direction::Dl && r.scheduled)
+        .collect();
+    let mcs: Vec<f64> = scheduled.iter().map(|r| f64::from(r.mcs)).collect();
+    let layers: Vec<f64> = scheduled.iter().map(|r| f64::from(r.layers)).collect();
+    let block = 300; // ≈150 ms of scheduled slots at 0.5 ms
+    let run = StreamingRun {
+        operator: op.acronym().to_string(),
+        seed,
+        mean_tput_mbps: session.trace.mean_throughput_mbps(Direction::Dl),
+        mcs_variability: variability(&mcs, block).unwrap_or(0.0),
+        mimo_variability: variability(&layers, block).unwrap_or(0.0),
+        qoe,
+    };
+    (run, log)
+}
+
+/// Figure 15: six representative stationary streaming runs over V_It and
+/// O_Sp, pairing QoE with channel variability.
+pub fn figure15(duration_s: f64, seed: u64) -> Vec<StreamingRun> {
+    let ladder = QualityLadder::paper_midband();
+    let mut runs = Vec::new();
+    for (i, &op) in [Operator::VodafoneItaly, Operator::OrangeSpain100].iter().enumerate() {
+        for j in 0..3u64 {
+            let (run, _) = stream_over(
+                op,
+                &ladder,
+                AbrKind::Bola,
+                MobilityKind::Stationary { spot: j as usize },
+                duration_s,
+                seed + i as u64 * 10 + j,
+            );
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+/// Figure 16: one full V_Sp streaming trace (throughput, variability,
+/// bitrate decisions, buffer, stalls).
+pub fn figure16(duration_s: f64, seed: u64) -> (StreamingRun, PlaybackLog) {
+    stream_over(
+        Operator::VodafoneSpain,
+        &QualityLadder::paper_midband(),
+        AbrKind::Bola,
+        MobilityKind::Stationary { spot: 0 },
+        duration_s,
+        seed,
+    )
+}
+
+/// The §6.1 "clear lag" made quantitative: the lag (in seconds) at which
+/// the ABR's chosen-bitrate series best correlates with the channel
+/// capacity series. Positive = the decisions trail the channel.
+pub fn decision_lag_s(
+    bandwidth: &video::BandwidthTrace,
+    log: &PlaybackLog,
+    max_lag_s: f64,
+) -> Option<f64> {
+    use analysis::correlation::peak_lag;
+    use analysis::timeseries::bin_average;
+    let bin_s = 1.0;
+    let duration = bandwidth.duration_s();
+    // Channel capacity at 1 s bins.
+    let cap_samples: Vec<(f64, f64)> = bandwidth
+        .mbps
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ((i as f64 + 0.5) * bandwidth.bin_s, v))
+        .collect();
+    let capacity = bin_average(&cap_samples, bin_s, duration).values;
+    // Chosen bitrate at 1 s bins (sample-and-hold between decisions).
+    let decisions: Vec<(f64, f64)> =
+        log.chunks.iter().map(|c| (c.request_at_s, c.bitrate_mbps)).collect();
+    let bitrate = bin_average(&decisions, bin_s, duration).values;
+    peak_lag(&capacity, &bitrate, (max_lag_s / bin_s) as usize)
+        .filter(|p| p.r > 0.2)
+        .map(|p| p.lag as f64 * bin_s)
+}
+
+/// One cell of Fig. 17: chunk length × operator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkLengthOutcome {
+    /// Operator acronym.
+    pub operator: String,
+    /// Chunk length, seconds.
+    pub chunk_s: f64,
+    /// Mean normalized bitrate over the repetitions.
+    pub normalized_bitrate: f64,
+    /// Mean stall percentage over the repetitions.
+    pub stall_pct: f64,
+}
+
+/// Figure 17: 1 s vs 4 s chunks over O_Fr and V_Ge — the paper's QoE
+/// improvement knob (§6.2).
+pub fn figure17(duration_s: f64, reps: u64, seed: u64) -> Vec<ChunkLengthOutcome> {
+    let base = QualityLadder::paper_midband();
+    let mut out = Vec::new();
+    for &op in &[Operator::OrangeFrance, Operator::VodafoneGermany] {
+        for &chunk_s in &[4.0, 1.0] {
+            let ladder = base.with_chunk_s(chunk_s);
+            let mut nb = 0.0;
+            let mut sp = 0.0;
+            for r in 0..reps {
+                let (run, _) = stream_over(
+                    op,
+                    &ladder,
+                    AbrKind::Bola,
+                    MobilityKind::Stationary { spot: r as usize },
+                    duration_s,
+                    seed + r,
+                );
+                nb += run.qoe.normalized_bitrate;
+                sp += run.qoe.stall_pct;
+            }
+            out.push(ChunkLengthOutcome {
+                operator: op.acronym().to_string(),
+                chunk_s,
+                normalized_bitrate: nb / reps as f64,
+                stall_pct: sp / reps as f64,
+            });
+        }
+    }
+    out
+}
+
+/// One row of Fig. 24: ABR × QoE.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AbrComparisonRow {
+    /// Algorithm name.
+    pub abr: String,
+    /// Operator acronym.
+    pub operator: String,
+    /// Mean normalized bitrate.
+    pub normalized_bitrate: f64,
+    /// Mean stall percentage.
+    pub stall_pct: f64,
+}
+
+/// Figure 24: BOLA vs throughput-based vs dynamic (the paper's Appendix
+/// 10.4 finding that BOLA performs best).
+pub fn figure24(duration_s: f64, reps: u64, seed: u64) -> Vec<AbrComparisonRow> {
+    let ladder = QualityLadder::paper_midband();
+    let mut rows = Vec::new();
+    for &op in &[Operator::VodafoneSpain, Operator::VerizonUs] {
+        for abr in [AbrKind::Bola, AbrKind::Throughput, AbrKind::Dynamic] {
+            let mut nb = 0.0;
+            let mut sp = 0.0;
+            for r in 0..reps {
+                let (run, _) = stream_over(
+                    op,
+                    &ladder,
+                    abr,
+                    MobilityKind::Stationary { spot: r as usize },
+                    duration_s,
+                    seed + r,
+                );
+                nb += run.qoe.normalized_bitrate;
+                sp += run.qoe.stall_pct;
+            }
+            rows.push(AbrComparisonRow {
+                abr: abr.to_string(),
+                operator: op.acronym().to_string(),
+                normalized_bitrate: nb / reps as f64,
+                stall_pct: sp / reps as f64,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_runs_produce_sane_qoe() {
+        let runs = figure15(30.0, 51);
+        assert_eq!(runs.len(), 6);
+        for r in &runs {
+            assert!(r.qoe.normalized_bitrate > 0.0 && r.qoe.normalized_bitrate <= 1.0);
+            assert!(r.qoe.stall_pct >= 0.0 && r.qoe.stall_pct <= 100.0);
+            assert!(r.mean_tput_mbps > 50.0, "{}: {}", r.operator, r.mean_tput_mbps);
+        }
+    }
+
+    #[test]
+    fn figure17_smaller_chunks_do_not_hurt() {
+        // §6.2: 1 s chunks improve bitrate and stalls. Averaged over a few
+        // runs, the 1 s configuration should be at least as good on stalls
+        // and not meaningfully worse on bitrate.
+        let rows = figure17(40.0, 3, 53);
+        for op in ["O_Fr", "V_Ge"] {
+            let four = rows.iter().find(|r| r.operator == op && r.chunk_s == 4.0).unwrap();
+            let one = rows.iter().find(|r| r.operator == op && r.chunk_s == 1.0).unwrap();
+            assert!(
+                one.stall_pct <= four.stall_pct + 0.5,
+                "{op}: stalls {} vs {}",
+                one.stall_pct,
+                four.stall_pct
+            );
+            assert!(
+                one.normalized_bitrate >= four.normalized_bitrate - 0.1,
+                "{op}: bitrate {} vs {}",
+                one.normalized_bitrate,
+                four.normalized_bitrate
+            );
+        }
+    }
+
+    #[test]
+    fn figure24_bola_competitive() {
+        let rows = figure24(30.0, 2, 57);
+        for op in ["V_Sp", "Vzw_US"] {
+            let bola = rows.iter().find(|r| r.operator == op && r.abr == "BOLA").unwrap();
+            let tput = rows.iter().find(|r| r.operator == op && r.abr == "Throughput").unwrap();
+            // BOLA should not be dominated: stalls no worse by much, or
+            // bitrate at least as good.
+            assert!(
+                bola.stall_pct <= tput.stall_pct + 2.0
+                    || bola.normalized_bitrate >= tput.normalized_bitrate,
+                "{op}: BOLA {bola:?} vs Throughput {tput:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # midband5g — a full reproduction of *"Unveiling the 5G Mid-Band
+//! Landscape: From Network Deployment to Performance and Application QoE"*
+//! (SIGCOMM 2024) as a simulation-backed Rust library
+//!
+//! The paper is a cross-continental field-measurement study; its inputs
+//! (commercial gNBs, chipset-level collectors) cannot run on a laptop, so
+//! this workspace rebuilds the *system* the study effectively ran —
+//! slot-level 5G NR networks configured exactly like the ten studied
+//! deployments — and re-derives every table and figure from simulated
+//! campaigns. See `DESIGN.md` for the substitution mapping and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Crate map
+//!
+//! * [`nr_phy`] — 3GPP PHY substrate (tables, TBS, TDD, max data rate);
+//! * [`radio_channel`] — path loss, shadowing, fading, mobility, blockage;
+//! * [`ran`] — the slot-driven RAN simulator (scheduler, AMC/OLLA, HARQ,
+//!   CA, NSA dual connectivity, KPI traces);
+//! * [`operators`] — the Table 2/3 deployment profiles;
+//! * [`measure`] — campaign orchestration (iPerf runs, latency probes);
+//! * [`analysis`] — the §5 scaled variability metrics and statistics;
+//! * [`video`] — DASH player + ABR algorithms + QoE metrics (§6);
+//! * [`experiments`] — one preset per paper table/figure, used by the
+//!   `midband5g-bench` regeneration binaries and the examples.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use midband5g::prelude::*;
+//!
+//! // Run a 5-second saturating downlink test against Vodafone Spain's
+//! // 90 MHz n78 deployment at the first Madrid study spot.
+//! let session = SessionResult::run(SessionSpec::stationary(
+//!     Operator::VodafoneSpain,
+//!     0,    // study spot index
+//!     5.0,  // seconds
+//!     42,   // seed — results are bit-reproducible
+//! ));
+//! let dl = session.trace.mean_throughput_mbps(Direction::Dl);
+//! assert!(dl > 100.0, "a good spot delivers hundreds of Mbps, got {dl}");
+//! ```
+
+pub use analysis;
+pub use measure;
+pub use nr_phy;
+pub use operators;
+pub use radio_channel;
+pub use ran;
+pub use video;
+
+pub mod experiments;
+
+/// Convenient re-exports for examples and downstream users.
+pub mod prelude {
+    pub use crate::experiments;
+    pub use analysis::stats::BoxplotStats;
+    pub use analysis::variability::{variability, variability_profile};
+    pub use measure::session::{MobilityKind, SessionResult, SessionSpec};
+    pub use operators::Operator;
+    pub use ran::kpi::{Direction, KpiTrace};
+    pub use video::{AbrKind, QoeMetrics, QualityLadder};
+}

@@ -1,0 +1,111 @@
+//! Campaign orchestration and Table 1 bookkeeping.
+//!
+//! The study ran ~10 consecutive days per country, ~7 hours a day across
+//! time slots, rotating spots, with all-contract SIMs and RRC warm-up.
+//! [`Campaign`] reproduces that structure at simulation scale: a batch of
+//! seeded sessions per operator, rotating the city's study spots, whose
+//! traces feed every figure. [`CampaignTotals`] accumulates the Table 1
+//! aggregates.
+
+use crate::session::{MobilityKind, SessionResult, SessionSpec};
+use operators::Operator;
+use serde::{Deserialize, Serialize};
+
+/// A batch of sessions for one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Operator under test.
+    pub operator: Operator,
+    /// Number of stationary sessions (rotating over the study spots).
+    pub sessions: u64,
+    /// Duration of each session, seconds.
+    pub session_duration_s: f64,
+    /// Base seed; session `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Campaign {
+    /// A default-sized campaign: enough sessions to average over the spot
+    /// rotation and per-session shadowing.
+    pub fn standard(operator: Operator, base_seed: u64) -> Self {
+        Campaign { operator, sessions: 12, session_duration_s: 10.0, base_seed }
+    }
+
+    /// The session specs of this campaign.
+    pub fn specs(&self) -> Vec<SessionSpec> {
+        (0..self.sessions)
+            .map(|i| SessionSpec {
+                operator: self.operator,
+                mobility: MobilityKind::Stationary { spot: i as usize },
+                dl: true,
+                ul: true,
+                duration_s: self.session_duration_s,
+                seed: self.base_seed + i,
+            })
+            .collect()
+    }
+
+    /// Run every session.
+    pub fn run(&self) -> Vec<SessionResult> {
+        self.specs().into_iter().map(SessionResult::run).collect()
+    }
+}
+
+/// Table 1 aggregates across campaigns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignTotals {
+    /// Total network-test minutes.
+    pub minutes: f64,
+    /// Total data consumed on 5G, bytes.
+    pub bytes: u64,
+    /// Number of sessions executed.
+    pub sessions: u64,
+    /// Operators covered.
+    pub operators: Vec<String>,
+}
+
+impl CampaignTotals {
+    /// Fold one session into the totals.
+    pub fn add(&mut self, result: &SessionResult) {
+        self.minutes += result.minutes();
+        self.bytes += result.bytes_delivered();
+        self.sessions += 1;
+        let name = result.spec.operator.acronym().to_string();
+        if !self.operators.contains(&name) {
+            self.operators.push(name);
+        }
+    }
+
+    /// Data consumed in terabytes.
+    pub fn terabytes(&self) -> f64 {
+        self.bytes as f64 / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_rotate_spots_and_seeds() {
+        let c = Campaign { operator: Operator::AttUs, sessions: 4, session_duration_s: 3.0, base_seed: 100 };
+        let specs = c.specs();
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].seed, 100);
+        assert_eq!(specs[3].seed, 103);
+        assert!(matches!(specs[2].mobility, MobilityKind::Stationary { spot: 2 }));
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let c = Campaign { operator: Operator::VodafoneGermany, sessions: 2, session_duration_s: 1.0, base_seed: 5 };
+        let mut totals = CampaignTotals::default();
+        for r in c.run() {
+            totals.add(&r);
+        }
+        assert_eq!(totals.sessions, 2);
+        assert!((totals.minutes - 2.0 / 60.0).abs() < 1e-12);
+        assert!(totals.bytes > 0);
+        assert_eq!(totals.operators, vec!["V_Ge".to_string()]);
+    }
+}

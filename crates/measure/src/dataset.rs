@@ -1,0 +1,236 @@
+//! Dataset export/import — the simulated counterpart of the paper's
+//! artifact release ("we make our dataset, artifacts, source code,
+//! processing scripts, plots and results publicly available").
+//!
+//! A [`Dataset`] is a directory of JSON files: one `manifest.json`
+//! describing the campaign, plus one `sessions/<name>.json` per session
+//! holding the spec and the full slot-level KPI trace. Every figure can
+//! be recomputed from an exported dataset without re-running the
+//! simulator — exactly how the paper's artifact consumers work with its
+//! released captures.
+
+use crate::session::{SessionResult, SessionSpec};
+use ran::kpi::KpiTrace;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest of an exported dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DatasetManifest {
+    /// Free-text description of the campaign.
+    pub description: String,
+    /// Session file names (relative to `sessions/`), in export order.
+    pub sessions: Vec<String>,
+    /// Total records across all sessions.
+    pub total_records: u64,
+    /// Format version, for forward compatibility.
+    pub version: u32,
+}
+
+/// One exported session: the spec that produced it plus its trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// The session specification (operator, mobility, seed, …).
+    pub spec: SessionSpec,
+    /// The slot-level KPI trace.
+    pub trace: KpiTrace,
+}
+
+/// A dataset rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    root: PathBuf,
+}
+
+/// Current manifest format version.
+pub const DATASET_VERSION: u32 = 1;
+
+impl Dataset {
+    /// Open (or designate) a dataset directory.
+    pub fn at(root: impl Into<PathBuf>) -> Self {
+        Dataset { root: root.into() }
+    }
+
+    /// The dataset root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn sessions_dir(&self) -> PathBuf {
+        self.root.join("sessions")
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.json")
+    }
+
+    /// Export a batch of session results, writing the manifest and one
+    /// JSON file per session. Returns the manifest.
+    pub fn export(
+        &self,
+        description: &str,
+        results: &[SessionResult],
+    ) -> io::Result<DatasetManifest> {
+        std::fs::create_dir_all(self.sessions_dir())?;
+        let mut manifest = DatasetManifest {
+            description: description.to_string(),
+            sessions: Vec::new(),
+            total_records: 0,
+            version: DATASET_VERSION,
+        };
+        for (i, r) in results.iter().enumerate() {
+            let name = format!(
+                "{:03}_{}_seed{}.json",
+                i,
+                r.spec.operator.acronym().replace(['[', ']'], ""),
+                r.spec.seed
+            );
+            let record =
+                SessionRecord { spec: r.spec, trace: KpiTrace { records: r.trace.records.clone() } };
+            let json = serde_json::to_string(&record)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            std::fs::write(self.sessions_dir().join(&name), json)?;
+            manifest.total_records += r.trace.records.len() as u64;
+            manifest.sessions.push(name);
+        }
+        let json = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(self.manifest_path(), json)?;
+        Ok(manifest)
+    }
+
+    /// Read the manifest.
+    pub fn manifest(&self) -> io::Result<DatasetManifest> {
+        let json = std::fs::read_to_string(self.manifest_path())?;
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load one session by its manifest name.
+    pub fn load_session(&self, name: &str) -> io::Result<SessionRecord> {
+        let json = std::fs::read_to_string(self.sessions_dir().join(name))?;
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load every session in manifest order.
+    pub fn load_all(&self) -> io::Result<Vec<SessionRecord>> {
+        self.manifest()?.sessions.iter().map(|n| self.load_session(n)).collect()
+    }
+}
+
+/// Render a KPI trace as CSV (one row per slot record) — the
+/// spreadsheet-friendly form the paper's artifact repository ships next
+/// to its raw captures.
+pub fn trace_to_csv(trace: &KpiTrace) -> String {
+    let mut out = String::with_capacity(trace.records.len() * 96 + 128);
+    out.push_str(
+        "slot,time_s,carrier,direction,scheduled,n_prb,n_re,mcs,modulation,layers,\
+         tbs_bits,delivered_bits,is_retx,block_error,cqi,sinr_db,rsrp_dbm,rsrq_db,serving_site\n",
+    );
+    for r in &trace.records {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{}",
+            r.slot,
+            r.time_s,
+            r.carrier,
+            match r.direction {
+                ran::kpi::Direction::Dl => "DL",
+                ran::kpi::Direction::Ul => "UL",
+            },
+            r.scheduled,
+            r.n_prb,
+            r.n_re,
+            r.mcs,
+            r.modulation,
+            r.layers,
+            r.tbs_bits,
+            r.delivered_bits,
+            r.is_retx,
+            r.block_error,
+            r.cqi,
+            r.sinr_db,
+            r.rsrp_dbm,
+            r.rsrq_db,
+            r.serving_site,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use operators::Operator;
+    use ran::kpi::Direction;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("midband5g-dataset-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_traces_exactly() {
+        let results: Vec<SessionResult> = (0..2)
+            .map(|i| {
+                SessionResult::run(SessionSpec::stationary(Operator::VodafoneGermany, i, 1.0, 60 + i as u64))
+            })
+            .collect();
+        let ds = Dataset::at(tmpdir("roundtrip"));
+        let manifest = ds.export("test campaign", &results).unwrap();
+        assert_eq!(manifest.sessions.len(), 2);
+        assert_eq!(manifest.version, DATASET_VERSION);
+
+        let loaded = ds.load_all().unwrap();
+        assert_eq!(loaded.len(), 2);
+        for (orig, back) in results.iter().zip(&loaded) {
+            assert_eq!(orig.spec.seed, back.spec.seed);
+            assert_eq!(orig.trace.records.len(), back.trace.records.len());
+            // Figures recompute identically from the export.
+            assert_eq!(
+                orig.trace.mean_throughput_mbps(Direction::Dl),
+                back.trace.mean_throughput_mbps(Direction::Dl)
+            );
+            assert_eq!(orig.trace.layer_shares(), back.trace.layer_shares());
+        }
+        std::fs::remove_dir_all(ds.root()).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_clean_error() {
+        let ds = Dataset::at(tmpdir("missing"));
+        assert!(ds.manifest().is_err());
+        assert!(ds.load_session("nope.json").is_err());
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let r = SessionResult::run(SessionSpec::stationary(Operator::VodafoneGermany, 0, 0.2, 4));
+        let csv = trace_to_csv(&r.trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), r.trace.records.len() + 1, "header + one row per record");
+        assert!(lines[0].starts_with("slot,time_s,carrier,direction"));
+        let cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        // Directions render as DL/UL.
+        assert!(lines[1..].iter().all(|l| l.contains(",DL,") || l.contains(",UL,")));
+    }
+
+    #[test]
+    fn record_counts_accumulate() {
+        let results = vec![SessionResult::run(SessionSpec::stationary(
+            Operator::AttUs,
+            0,
+            0.5,
+            3,
+        ))];
+        let ds = Dataset::at(tmpdir("counts"));
+        let manifest = ds.export("one", &results).unwrap();
+        assert_eq!(manifest.total_records, results[0].trace.records.len() as u64);
+        std::fs::remove_dir_all(ds.root()).unwrap();
+    }
+}

@@ -1,0 +1,153 @@
+//! iPerf-style saturating transfer tests (paper §2 "bulk data transfer
+//! using iPerf3").
+
+use crate::session::{MobilityKind, SessionResult, SessionSpec};
+use operators::Operator;
+use ran::kpi::KpiTrace;
+use ran::lte::LTE_CARRIER_INDEX;
+
+// (`transfer_completion_s` below drives the simulator tick-by-tick, so it
+// needs the UeSim API rather than the one-shot SessionResult.)
+
+/// Run one saturating transfer. `dl`/`ul` select the directions (iPerf
+/// forward, reverse, or bidirectional).
+pub fn run_iperf(
+    operator: Operator,
+    mobility: MobilityKind,
+    dl: bool,
+    ul: bool,
+    duration_s: f64,
+    seed: u64,
+) -> SessionResult {
+    SessionResult::run(SessionSpec { operator, mobility, dl, ul, duration_s, seed })
+}
+
+/// Strip the LTE UL leg from a trace, leaving NR-only records — what the
+/// paper's per-channel UL analysis (Figs. 9/10) isolates.
+pub fn nr_only(trace: &KpiTrace) -> KpiTrace {
+    KpiTrace {
+        records: trace
+            .records
+            .iter()
+            .copied()
+            .filter(|r| r.carrier != LTE_CARRIER_INDEX)
+            .collect(),
+    }
+}
+
+/// Completion time of a finite DL transfer of `megabits` over an
+/// operator's channel (the "file download" workload of the paper's §2),
+/// excluding RRC promotion (apply [`ran::rrc`] costs separately when
+/// modelling cold starts). Runs the channel until the bits are delivered
+/// and returns seconds; `None` if `max_duration_s` elapses first.
+pub fn transfer_completion_s(
+    operator: Operator,
+    mobility: MobilityKind,
+    megabits: f64,
+    max_duration_s: f64,
+    seed: u64,
+) -> Option<f64> {
+    let spec = SessionSpec { operator, mobility, dl: true, ul: false, duration_s: max_duration_s, seed };
+    let profile = operator.profile();
+    let mut sim = profile.build_ue_sim(
+        spec.mobility_model(),
+        ran::sim::UeSimConfig {
+            traffic: ran::carrier::TrafficPattern::DL,
+            routing: profile.routing,
+        },
+        &spec.seeds(),
+    );
+    let target_bits = megabits * 1e6;
+    let mut delivered = 0.0f64;
+    let mut trace = KpiTrace::new();
+    let ticks = (max_duration_s / sim.base_slot_s()).round() as u64;
+    for _ in 0..ticks {
+        let before = trace.records.len();
+        sim.step_into(&mut trace);
+        for r in &trace.records[before..] {
+            delivered += f64::from(r.delivered_bits);
+        }
+        if delivered >= target_bits {
+            return trace.records.last().map(|r| r.time_s);
+        }
+        // Keep memory bounded: each record carries its own absolute
+        // timestamp, so earlier records can be dropped freely.
+        if trace.records.len() > 50_000 {
+            trace.records.clear();
+        }
+    }
+    None
+}
+
+/// Only the LTE UL leg (Fig. 10's `LTE_US` box).
+pub fn lte_only(trace: &KpiTrace) -> KpiTrace {
+    KpiTrace {
+        records: trace
+            .records
+            .iter()
+            .copied()
+            .filter(|r| r.carrier == LTE_CARRIER_INDEX)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ran::kpi::Direction;
+
+    #[test]
+    fn dl_only_test_has_no_ul_bits() {
+        let r = run_iperf(Operator::VodafoneGermany, MobilityKind::Stationary { spot: 0 }, true, false, 1.0, 3);
+        assert!(r.trace.mean_throughput_mbps(Direction::Dl) > 0.0);
+        let ul_bits: u64 = r
+            .trace
+            .records
+            .iter()
+            .filter(|x| x.direction == Direction::Ul)
+            .map(|x| u64::from(x.delivered_bits))
+            .sum();
+        assert_eq!(ul_bits, 0);
+    }
+
+    #[test]
+    fn finite_transfer_completion_scales_with_size() {
+        let done_small = transfer_completion_s(
+            Operator::VodafoneSpain,
+            MobilityKind::Stationary { spot: 0 },
+            50.0,
+            20.0,
+            5,
+        )
+        .expect("50 Mb completes quickly");
+        let done_large = transfer_completion_s(
+            Operator::VodafoneSpain,
+            MobilityKind::Stationary { spot: 0 },
+            2000.0,
+            60.0,
+            5,
+        )
+        .expect("2 Gb completes within a minute");
+        assert!(done_small < done_large, "{done_small} vs {done_large}");
+        // 2 Gb at a few hundred Mbps: single-digit seconds.
+        assert!(done_large > 1.0 && done_large < 40.0, "{done_large}");
+        // An impossible deadline returns None.
+        assert!(transfer_completion_s(
+            Operator::VodafoneSpain,
+            MobilityKind::Stationary { spot: 0 },
+            1e7,
+            1.0,
+            5,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn lte_and_nr_partition_the_trace() {
+        let r = run_iperf(Operator::TMobileUs, MobilityKind::Stationary { spot: 0 }, true, true, 1.0, 4);
+        let nr = nr_only(&r.trace);
+        let lte = lte_only(&r.trace);
+        assert_eq!(nr.records.len() + lte.records.len(), r.trace.records.len());
+        assert!(!lte.records.is_empty(), "T-Mobile routes UL to LTE");
+    }
+}

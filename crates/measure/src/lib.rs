@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # measure — the measurement-campaign framework (paper §2)
+//!
+//! Orchestrates the simulated equivalent of the paper's 5600+ minutes of
+//! experiments: sessions ([`session`]) bind an operator profile to a
+//! mobility pattern, a city spot, a traffic workload and a seed;
+//! [`iperf`] provides the saturating DL/UL transfer tests; [`latency`]
+//! the §4.3 user-plane latency probes; [`campaign`] batches sessions the
+//! way the study did (multiple spots, repeated time slots) and produces
+//! the Table 1 bookkeeping.
+//!
+//! Every result is bit-reproducible from `(operator, session spec, seed)`.
+
+pub mod campaign;
+pub mod dataset;
+pub mod iperf;
+pub mod latency;
+pub mod session;
+
+pub use campaign::{Campaign, CampaignTotals};
+pub use dataset::{trace_to_csv, Dataset, DatasetManifest};
+pub use iperf::{nr_only, run_iperf};
+pub use session::{MobilityKind, SessionResult, SessionSpec};

@@ -1,0 +1,169 @@
+//! Measurement sessions: one experiment run of one operator.
+
+use operators::Operator;
+use radio_channel::geometry::Position;
+use radio_channel::mobility::MobilityModel;
+use radio_channel::rng::SeedTree;
+use ran::carrier::TrafficPattern;
+use ran::kpi::{Direction, KpiTrace};
+use serde::{Deserialize, Serialize};
+
+/// The mobility scenarios of the study (§2, §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MobilityKind {
+    /// Phone on a flat surface at one of the city's study spots
+    /// (`spot` indexes the operator's qualifying spot list).
+    Stationary {
+        /// Index into [`operators::OperatorProfile::measurement_spots`].
+        spot: usize,
+    },
+    /// Walking around the study area at ~1.4 m/s.
+    Walking,
+    /// Driving a loop around the study area at ~11 m/s.
+    Driving,
+}
+
+/// Specification of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// The operator deployment under test.
+    pub operator: Operator,
+    /// Movement pattern.
+    pub mobility: MobilityKind,
+    /// Traffic directions saturated during the session.
+    pub dl: bool,
+    /// Uplink saturation.
+    pub ul: bool,
+    /// Session duration, seconds.
+    pub duration_s: f64,
+    /// Campaign seed; the session derives all randomness from it.
+    pub seed: u64,
+}
+
+impl SessionSpec {
+    /// A stationary full-buffer DL+UL session — the workhorse of §4.
+    pub fn stationary(operator: Operator, spot: usize, duration_s: f64, seed: u64) -> Self {
+        SessionSpec {
+            operator,
+            mobility: MobilityKind::Stationary { spot },
+            dl: true,
+            ul: true,
+            duration_s,
+            seed,
+        }
+    }
+
+    /// The concrete mobility model for this spec.
+    pub fn mobility_model(&self) -> MobilityModel {
+        let profile = self.operator.profile();
+        match self.mobility {
+            MobilityKind::Stationary { spot } => {
+                let spots = profile.measurement_spots();
+                MobilityModel::Stationary { position: spots[spot % spots.len()] }
+            }
+            MobilityKind::Walking => MobilityModel::walking(Position::ORIGIN, 180.0),
+            MobilityKind::Driving => MobilityModel::driving_loop(Position::ORIGIN, 180.0),
+        }
+    }
+
+    /// Seed tree of this session. Environment randomness is keyed by the
+    /// *city*, not the operator, so carriers measured at the same spot in
+    /// the same session slot experience the same radio environment.
+    pub fn seeds(&self) -> SeedTree {
+        SeedTree::new(self.seed).child(self.operator.profile().city)
+    }
+}
+
+/// A completed session.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The spec that produced it.
+    pub spec: SessionSpec,
+    /// The slot-level KPI trace (NR carriers + LTE UL leg).
+    pub trace: KpiTrace,
+}
+
+impl SessionResult {
+    /// Execute a spec.
+    pub fn run(spec: SessionSpec) -> SessionResult {
+        let profile = spec.operator.profile();
+        let mut sim = profile.build_ue_sim(
+            spec.mobility_model(),
+            ran::sim::UeSimConfig {
+                traffic: TrafficPattern { dl: spec.dl, ul: spec.ul },
+                routing: profile.routing,
+            },
+            &spec.seeds(),
+        );
+        SessionResult { spec, trace: sim.run(spec.duration_s) }
+    }
+
+    /// Bytes delivered over the session (both directions, all legs) — the
+    /// "Data consumed on 5G" Table 1 aggregate.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.trace.records.iter().map(|r| u64::from(r.delivered_bits) / 8).sum()
+    }
+
+    /// Session minutes.
+    pub fn minutes(&self) -> f64 {
+        self.spec.duration_s / 60.0
+    }
+
+    /// DL goodput, Mbps.
+    pub fn dl_mbps(&self) -> f64 {
+        self.trace.mean_throughput_mbps(Direction::Dl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_runs_and_accounts() {
+        let spec = SessionSpec::stationary(Operator::VodafoneSpain, 0, 2.0, 42);
+        let r = SessionResult::run(spec);
+        assert!(r.dl_mbps() > 50.0, "dl {}", r.dl_mbps());
+        assert!(r.bytes_delivered() > 10_000_000);
+        assert!((r.minutes() - 2.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sessions_are_reproducible() {
+        let spec = SessionSpec::stationary(Operator::TelekomGermany, 1, 1.0, 7);
+        let a = SessionResult::run(spec);
+        let b = SessionResult::run(spec);
+        assert_eq!(a.trace.records.len(), b.trace.records.len());
+        assert_eq!(a.bytes_delivered(), b.bytes_delivered());
+    }
+
+    #[test]
+    fn same_city_same_environment() {
+        // V_Sp and O_Sp90 share the Madrid environment: at the same seed
+        // and spot, their serving-site shadowing draws coincide, so their
+        // RSRP traces differ only through deployment (not RNG label) —
+        // identical layouts + config ⇒ near-identical RSRP.
+        let a = SessionResult::run(SessionSpec::stationary(Operator::VodafoneSpain, 0, 0.5, 9));
+        let b = SessionResult::run(SessionSpec::stationary(Operator::OrangeSpain90, 0, 0.5, 9));
+        let rsrp_a = a.trace.records[0].rsrp_dbm;
+        let rsrp_b = b.trace.records[0].rsrp_dbm;
+        assert!((rsrp_a - rsrp_b).abs() < 1e-9, "{rsrp_a} vs {rsrp_b}");
+    }
+
+    #[test]
+    fn mobility_kinds_build() {
+        for kind in [MobilityKind::Stationary { spot: 2 }, MobilityKind::Walking, MobilityKind::Driving]
+        {
+            let spec = SessionSpec {
+                operator: Operator::VodafoneItaly,
+                mobility: kind,
+                dl: true,
+                ul: false,
+                duration_s: 0.2,
+                seed: 1,
+            };
+            let r = SessionResult::run(spec);
+            assert!(!r.trace.records.is_empty());
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! NR operating bands and the global frequency raster (TS 38.104 §5.2, §5.4.2).
+//!
+//! The catalogue below covers every band that appears in the paper: the
+//! mid-bands n25/n41/n77/n78 of Tables 2–3, the low-band n71 (T-Mobile's CA
+//! partner), the FR2 band n261 used for the §7 mmWave comparison, plus the
+//! LTE anchor bands used by the NSA deployments.
+
+use crate::error::PhyError;
+use serde::{Deserialize, Serialize};
+
+/// 3GPP frequency ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrequencyRange {
+    /// FR1: 410 MHz – 7.125 GHz (low- and mid-bands).
+    Fr1,
+    /// FR2: 24.25 – 52.6 GHz (mmWave).
+    Fr2,
+}
+
+/// Duplexing arrangement of a band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DuplexMode {
+    /// Time-division duplexing: DL and UL share one carrier, split in time
+    /// by the TDD-UL-DL pattern (all n41/n77/n78 channels in the study).
+    Tdd,
+    /// Frequency-division duplexing: paired DL/UL carriers (T-Mobile n25).
+    Fdd,
+}
+
+impl std::fmt::Display for DuplexMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DuplexMode::Tdd => write!(f, "TDD"),
+            DuplexMode::Fdd => write!(f, "FDD"),
+        }
+    }
+}
+
+/// NR operating bands relevant to the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(non_camel_case_types)]
+pub enum Band {
+    /// n25, 1850–1915 MHz UL / 1930–1995 MHz DL, FDD (T-Mobile mid-band).
+    N25,
+    /// n41, 2496–2690 MHz, TDD (T-Mobile's primary mid-band).
+    N41,
+    /// n71, 617–652 MHz DL, FDD low-band (T-Mobile CA partner).
+    N71,
+    /// n77, 3300–4200 MHz, TDD — the full C-band (AT&T, Verizon).
+    N77,
+    /// n78, 3300–3800 MHz, TDD — sub-segment of n77 (all EU operators).
+    N78,
+    /// n261, 27.5–28.35 GHz, TDD mmWave (Verizon's FR2 deployment).
+    N261,
+}
+
+impl Band {
+    /// The 3GPP band label, e.g. `"n78"`.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Band::N25 => "n25",
+            Band::N41 => "n41",
+            Band::N71 => "n71",
+            Band::N77 => "n77",
+            Band::N78 => "n78",
+            Band::N261 => "n261",
+        }
+    }
+
+    /// Frequency range classification.
+    pub const fn frequency_range(self) -> FrequencyRange {
+        match self {
+            Band::N261 => FrequencyRange::Fr2,
+            _ => FrequencyRange::Fr1,
+        }
+    }
+
+    /// Duplexing mode of the band.
+    pub const fn duplex_mode(self) -> DuplexMode {
+        match self {
+            Band::N25 | Band::N71 => DuplexMode::Fdd,
+            Band::N41 | Band::N77 | Band::N78 | Band::N261 => DuplexMode::Tdd,
+        }
+    }
+
+    /// Downlink frequency span of the band in MHz (low, high).
+    pub const fn dl_range_mhz(self) -> (u32, u32) {
+        match self {
+            Band::N25 => (1930, 1995),
+            Band::N41 => (2496, 2690),
+            Band::N71 => (617, 652),
+            Band::N77 => (3300, 4200),
+            Band::N78 => (3300, 3800),
+            Band::N261 => (27_500, 28_350),
+        }
+    }
+
+    /// Whether this band sits in the 1–6 GHz "mid-band" the paper studies.
+    pub const fn is_mid_band(self) -> bool {
+        let (lo, _) = self.dl_range_mhz();
+        lo >= 1000 && lo < 6000
+    }
+
+    /// Whether a DL centre frequency (MHz) is legal for this band.
+    pub fn contains_dl_mhz(self, freq_mhz: f64) -> bool {
+        let (lo, hi) = self.dl_range_mhz();
+        freq_mhz >= lo as f64 && freq_mhz <= hi as f64
+    }
+}
+
+impl std::fmt::Display for Band {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An NR Absolute Radio Frequency Channel Number on the global frequency
+/// raster of TS 38.104 Table 5.4.2.1-1.
+///
+/// The raster is piecewise linear:
+///
+/// | Range (MHz)   | ΔF_global | F_REF-Offs (MHz) | N_REF-Offs | N_REF range        |
+/// |---------------|-----------|------------------|------------|--------------------|
+/// | 0 – 3000      | 5 kHz     | 0                | 0          | 0 – 599999         |
+/// | 3000 – 24250  | 15 kHz    | 3000             | 600000     | 600000 – 2016666   |
+/// | 24250 – 100000| 60 kHz    | 24250.08         | 2016667    | 2016667 – 3279165  |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NrArfcn(pub u32);
+
+impl NrArfcn {
+    /// Largest valid NR-ARFCN on the global raster.
+    pub const MAX: u32 = 3_279_165;
+
+    /// Convert the channel number to its reference frequency in kHz.
+    pub fn to_khz(self) -> Result<u64, PhyError> {
+        let n = self.0;
+        if n < 600_000 {
+            Ok(5 * n as u64)
+        } else if n < 2_016_667 {
+            Ok(3_000_000 + 15 * (n as u64 - 600_000))
+        } else if n <= Self::MAX {
+            // 24250.08 MHz offset: 24_250_080 kHz.
+            Ok(24_250_080 + 60 * (n as u64 - 2_016_667))
+        } else {
+            Err(PhyError::InvalidArfcn(n))
+        }
+    }
+
+    /// Convert the channel number to its reference frequency in MHz.
+    pub fn to_mhz(self) -> Result<f64, PhyError> {
+        Ok(self.to_khz()? as f64 / 1000.0)
+    }
+
+    /// Build the channel number nearest to a frequency given in kHz.
+    ///
+    /// Frequencies that do not fall exactly on the raster are rounded to the
+    /// nearest raster point (the professional tools the paper uses report
+    /// raster-aligned values, so exactness holds in practice).
+    pub fn from_khz(khz: u64) -> Result<Self, PhyError> {
+        if khz < 3_000_000 {
+            Ok(NrArfcn(((khz + 2) / 5) as u32))
+        } else if khz < 24_250_080 {
+            let steps = (khz - 3_000_000 + 7) / 15;
+            Ok(NrArfcn(600_000 + steps as u32))
+        } else if khz <= 100_000_000 {
+            let steps = (khz - 24_250_080 + 30) / 60;
+            let n = 2_016_667 + steps as u32;
+            if n > Self::MAX {
+                return Err(PhyError::InvalidFrequency(khz));
+            }
+            Ok(NrArfcn(n))
+        } else {
+            Err(PhyError::InvalidFrequency(khz))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_catalogue_matches_tables_2_and_3() {
+        // Table 2: all EU operators use n78, TDD, mid-band.
+        assert_eq!(Band::N78.duplex_mode(), DuplexMode::Tdd);
+        assert!(Band::N78.is_mid_band());
+        assert_eq!(Band::N78.dl_range_mhz(), (3300, 3800));
+        // Table 3: T-Mobile n25 is FDD, n41 TDD; AT&T/Verizon C-band n77.
+        assert_eq!(Band::N25.duplex_mode(), DuplexMode::Fdd);
+        assert_eq!(Band::N41.duplex_mode(), DuplexMode::Tdd);
+        assert!(Band::N77.contains_dl_mhz(3700.0));
+        // n78 is a sub-segment of n77 (the paper's C-band discussion).
+        let (lo78, hi78) = Band::N78.dl_range_mhz();
+        let (lo77, hi77) = Band::N77.dl_range_mhz();
+        assert!(lo77 <= lo78 && hi78 <= hi77);
+    }
+
+    #[test]
+    fn mmwave_band_is_fr2_not_midband() {
+        assert_eq!(Band::N261.frequency_range(), FrequencyRange::Fr2);
+        assert!(!Band::N261.is_mid_band());
+    }
+
+    #[test]
+    fn arfcn_conversion_known_points() {
+        // 3 GHz boundary: N=600000 ↔ 3000 MHz.
+        assert_eq!(NrArfcn(600_000).to_khz().unwrap(), 3_000_000);
+        // A typical n78 C-band point: 3 750 MHz = 600000 + 50_000 steps.
+        assert_eq!(NrArfcn(650_000).to_mhz().unwrap(), 3750.0);
+        // Below 3 GHz raster: n41 centre 2 593 MHz = ARFCN 518600.
+        assert_eq!(NrArfcn(518_600).to_khz().unwrap(), 2_593_000);
+        // FR2 start.
+        assert_eq!(NrArfcn(2_016_667).to_khz().unwrap(), 24_250_080);
+    }
+
+    #[test]
+    fn arfcn_roundtrip_across_segments() {
+        for n in [0u32, 123_456, 599_999, 600_000, 650_000, 2_016_666, 2_016_667, 3_279_165] {
+            let khz = NrArfcn(n).to_khz().unwrap();
+            assert_eq!(NrArfcn::from_khz(khz).unwrap(), NrArfcn(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn invalid_arfcn_rejected() {
+        assert!(NrArfcn(NrArfcn::MAX + 1).to_khz().is_err());
+        assert!(NrArfcn::from_khz(100_000_001).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Channel-state-information feedback (TS 38.214 §5.2; paper Appendix 10.2).
+//!
+//! The UE reports CSI — RI (rank indicator), PMI (precoding matrix
+//! indicator), CQI and LI (layer indicator) — every few tens of
+//! milliseconds. The gNB uses RI to pick the MIMO layer count and CQI to
+//! pick the MCS; together these are the two dynamic parameters the paper
+//! identifies (§4.1, §5) as the dominant drivers of mid-band throughput and
+//! its variability.
+
+use crate::cqi::Cqi;
+use serde::{Deserialize, Serialize};
+
+/// A CSI report as fed back by the UE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsiReport {
+    /// Rank indicator: how many spatial layers the channel supports (1..=4).
+    pub ri: u8,
+    /// Precoding matrix indicator (opaque codebook index).
+    pub pmi: u16,
+    /// Wideband channel quality indicator.
+    pub cqi: Cqi,
+    /// Layer indicator: the strongest layer (0-based, < ri).
+    pub li: u8,
+}
+
+impl CsiReport {
+    /// Construct a consistent report; clamps `ri` into 1..=4 and `li` below
+    /// `ri` so downstream code never sees an impossible combination.
+    pub fn new(ri: u8, pmi: u16, cqi: Cqi, li: u8) -> Self {
+        let ri = ri.clamp(1, 4);
+        CsiReport { ri, pmi, cqi, li: li.min(ri - 1) }
+    }
+
+    /// An "out of range" report (CQI 0, rank 1) — what a UE in outage sends.
+    pub fn out_of_range() -> Self {
+        CsiReport { ri: 1, pmi: 0, cqi: Cqi::saturating(0), li: 0 }
+    }
+}
+
+/// Periodicity (in slots) of CSI reporting. The paper notes CSI feedback is
+/// sent "averagely every tens of milliseconds"; at µ=1 a 40-slot period is
+/// 20 ms.
+pub const DEFAULT_CSI_PERIOD_SLOTS: u64 = 40;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_invariants_enforced() {
+        let r = CsiReport::new(9, 0, Cqi::MAX, 7);
+        assert_eq!(r.ri, 4);
+        assert!(r.li < r.ri);
+        let r = CsiReport::new(0, 0, Cqi::MIN, 0);
+        assert_eq!(r.ri, 1);
+    }
+
+    #[test]
+    fn out_of_range_report() {
+        let r = CsiReport::out_of_range();
+        assert!(r.cqi.is_out_of_range());
+        assert_eq!(r.ri, 1);
+    }
+}

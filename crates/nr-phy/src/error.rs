@@ -1,0 +1,77 @@
+//! Error type shared by the fallible constructors of this crate.
+
+use std::fmt;
+
+/// Errors produced when a 3GPP table lookup or conversion has no defined
+/// result (e.g. a bandwidth not specified for a sub-carrier spacing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhyError {
+    /// The (bandwidth, SCS, frequency-range) triple has no N_RB entry in
+    /// TS 38.101 Table 5.3.2-1.
+    UnsupportedBandwidth {
+        /// Channel bandwidth in kHz.
+        bandwidth_khz: u32,
+        /// Sub-carrier spacing in kHz.
+        scs_khz: u32,
+    },
+    /// An NR-ARFCN outside the global frequency raster of TS 38.104 §5.4.2.
+    InvalidArfcn(u32),
+    /// A frequency (in kHz) outside the 0–100 GHz global raster.
+    InvalidFrequency(u64),
+    /// An MCS index outside the selected MCS table.
+    InvalidMcsIndex {
+        /// The offending index.
+        index: u8,
+        /// Number of entries in the table that was consulted.
+        table_len: u8,
+    },
+    /// A CQI outside 0..=15.
+    InvalidCqi(u8),
+    /// A TDD pattern string containing characters other than `D`, `S`, `U`,
+    /// or with more than one special slot, or empty.
+    InvalidTddPattern(String),
+    /// A special-slot symbol split that does not sum to 14 symbols.
+    InvalidSpecialSlot {
+        /// Downlink symbols.
+        dl: u8,
+        /// Guard symbols.
+        guard: u8,
+        /// Uplink symbols.
+        ul: u8,
+    },
+    /// MIMO layer count outside 1..=4 (this crate models up to 4x4 SU-MIMO,
+    /// the maximum the paper observed in commercial mid-band deployments).
+    InvalidLayerCount(u8),
+    /// A scaling factor not drawn from the TS 38.306 set {1, 0.8, 0.75, 0.4}.
+    InvalidScalingFactor(f64),
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::UnsupportedBandwidth { bandwidth_khz, scs_khz } => write!(
+                f,
+                "no N_RB entry for bandwidth {bandwidth_khz} kHz at SCS {scs_khz} kHz"
+            ),
+            PhyError::InvalidArfcn(n) => write!(f, "NR-ARFCN {n} outside the global raster"),
+            PhyError::InvalidFrequency(khz) => {
+                write!(f, "frequency {khz} kHz outside the 0..100 GHz raster")
+            }
+            PhyError::InvalidMcsIndex { index, table_len } => {
+                write!(f, "MCS index {index} outside table of {table_len} entries")
+            }
+            PhyError::InvalidCqi(c) => write!(f, "CQI {c} outside 0..=15"),
+            PhyError::InvalidTddPattern(p) => write!(f, "invalid TDD pattern {p:?}"),
+            PhyError::InvalidSpecialSlot { dl, guard, ul } => write!(
+                f,
+                "special slot {dl}D:{guard}G:{ul}U does not sum to 14 symbols"
+            ),
+            PhyError::InvalidLayerCount(v) => write!(f, "MIMO layer count {v} outside 1..=4"),
+            PhyError::InvalidScalingFactor(v) => {
+                write!(f, "scaling factor {v} not in {{1, 0.8, 0.75, 0.4}}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhyError {}

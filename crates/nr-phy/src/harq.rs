@@ -1,0 +1,151 @@
+//! HARQ process machinery (TS 38.214 §5.1, TS 38.321 §5.4.2).
+//!
+//! NR retransmits failed transport blocks with incremental redundancy. Each
+//! retransmission raises the PHY user-plane latency by at least one HARQ
+//! round trip — the paper's Figure 11 splits latency into BLER = 0 (no
+//! retransmission) and BLER > 0 (≥ 1 retransmission) for exactly this
+//! reason.
+
+use serde::{Deserialize, Serialize};
+
+/// Redundancy versions, cycled in the standard 0→2→3→1 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RedundancyVersion {
+    /// Initial transmission.
+    Rv0,
+    /// First retransmission.
+    Rv2,
+    /// Second retransmission.
+    Rv3,
+    /// Third retransmission.
+    Rv1,
+}
+
+impl RedundancyVersion {
+    /// The standard RV cycling sequence.
+    pub const SEQUENCE: [RedundancyVersion; 4] = [
+        RedundancyVersion::Rv0,
+        RedundancyVersion::Rv2,
+        RedundancyVersion::Rv3,
+        RedundancyVersion::Rv1,
+    ];
+
+    /// RV for the `n`-th transmission attempt (0-based; wraps after 4).
+    pub const fn for_attempt(n: u8) -> Self {
+        Self::SEQUENCE[(n % 4) as usize]
+    }
+
+    /// The 2-bit RV field value.
+    pub const fn field_value(self) -> u8 {
+        match self {
+            RedundancyVersion::Rv0 => 0,
+            RedundancyVersion::Rv1 => 1,
+            RedundancyVersion::Rv2 => 2,
+            RedundancyVersion::Rv3 => 3,
+        }
+    }
+}
+
+/// State of one HARQ process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HarqState {
+    /// No transport block in flight.
+    Idle,
+    /// A transport block awaits ACK/NACK.
+    Pending {
+        /// Slot index of the most recent (re)transmission.
+        tx_slot: u64,
+        /// Number of attempts so far (1 = initial transmission done).
+        attempts: u8,
+        /// Transport block size in bits.
+        tbs_bits: u32,
+    },
+}
+
+/// One HARQ process: tracks attempts and produces the RV sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HarqProcess {
+    /// Process identifier (0..=15; NR allows 16 DL processes).
+    pub id: u8,
+    /// Current state.
+    pub state: HarqState,
+}
+
+/// Default maximum transmission attempts before the block is dropped to RLC
+/// (initial + 3 retransmissions).
+pub const DEFAULT_MAX_ATTEMPTS: u8 = 4;
+
+impl HarqProcess {
+    /// A fresh, idle process.
+    pub const fn new(id: u8) -> Self {
+        HarqProcess { id, state: HarqState::Idle }
+    }
+
+    /// Whether the process can accept a new transport block.
+    pub const fn is_idle(&self) -> bool {
+        matches!(self.state, HarqState::Idle)
+    }
+
+    /// Record an initial transmission.
+    pub fn start(&mut self, tx_slot: u64, tbs_bits: u32) {
+        debug_assert!(self.is_idle(), "starting a busy HARQ process");
+        self.state = HarqState::Pending { tx_slot, attempts: 1, tbs_bits };
+    }
+
+    /// Record a retransmission; returns the RV used.
+    pub fn retransmit(&mut self, tx_slot: u64) -> RedundancyVersion {
+        match &mut self.state {
+            HarqState::Pending { tx_slot: t, attempts, .. } => {
+                *t = tx_slot;
+                *attempts += 1;
+                RedundancyVersion::for_attempt(*attempts - 1)
+            }
+            HarqState::Idle => {
+                debug_assert!(false, "retransmitting an idle HARQ process");
+                RedundancyVersion::Rv0
+            }
+        }
+    }
+
+    /// Number of attempts so far (0 when idle).
+    pub fn attempts(&self) -> u8 {
+        match self.state {
+            HarqState::Idle => 0,
+            HarqState::Pending { attempts, .. } => attempts,
+        }
+    }
+
+    /// Complete the process (ACK received, or max attempts exhausted).
+    pub fn complete(&mut self) {
+        self.state = HarqState::Idle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rv_sequence_is_0231() {
+        assert_eq!(RedundancyVersion::for_attempt(0).field_value(), 0);
+        assert_eq!(RedundancyVersion::for_attempt(1).field_value(), 2);
+        assert_eq!(RedundancyVersion::for_attempt(2).field_value(), 3);
+        assert_eq!(RedundancyVersion::for_attempt(3).field_value(), 1);
+        assert_eq!(RedundancyVersion::for_attempt(4).field_value(), 0);
+    }
+
+    #[test]
+    fn process_lifecycle() {
+        let mut p = HarqProcess::new(0);
+        assert!(p.is_idle());
+        p.start(100, 8192);
+        assert!(!p.is_idle());
+        assert_eq!(p.attempts(), 1);
+        let rv = p.retransmit(108);
+        assert_eq!(rv, RedundancyVersion::Rv2);
+        assert_eq!(p.attempts(), 2);
+        p.complete();
+        assert!(p.is_idle());
+        assert_eq!(p.attempts(), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Modulation and coding scheme tables (TS 38.214 §5.1.3.1).
+//!
+//! The MCS index signalled in each DCI selects a (modulation order, code
+//! rate) pair from one of three standardised tables. Which *table* applies
+//! is itself signalled: DCI format 1_1 with `mcs-Table = qam256` selects
+//! Table 2 (256QAM), DCI format 1_0 falls back to Table 1 (64QAM) — the
+//! mechanism behind the paper's observation (§3.1) that operators capping
+//! modulation at 64QAM (O_Sp's 100 MHz channel) leave spectral efficiency
+//! on the table.
+//!
+//! Code rates are stored as `R × 1024` exactly as printed in the spec so
+//! table entries can be compared bit-for-bit against TS 38.214.
+
+use crate::error::PhyError;
+use serde::{Deserialize, Serialize};
+
+/// Modulation orders used on the NR data channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Modulation {
+    /// QPSK, 2 bits/symbol.
+    Qpsk,
+    /// 16QAM, 4 bits/symbol.
+    Qam16,
+    /// 64QAM, 6 bits/symbol.
+    Qam64,
+    /// 256QAM, 8 bits/symbol.
+    Qam256,
+}
+
+impl Modulation {
+    /// Bits per modulation symbol (Q_m).
+    pub const fn bits_per_symbol(self) -> u8 {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+            Modulation::Qam256 => 8,
+        }
+    }
+
+    /// Inverse of [`Self::bits_per_symbol`].
+    pub const fn from_bits(q: u8) -> Option<Self> {
+        match q {
+            2 => Some(Modulation::Qpsk),
+            4 => Some(Modulation::Qam16),
+            6 => Some(Modulation::Qam64),
+            8 => Some(Modulation::Qam256),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Modulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Modulation::Qpsk => write!(f, "QPSK"),
+            Modulation::Qam16 => write!(f, "16QAM"),
+            Modulation::Qam64 => write!(f, "64QAM"),
+            Modulation::Qam256 => write!(f, "256QAM"),
+        }
+    }
+}
+
+/// An MCS index into one of the three tables (0..=28 for Tables 1/3,
+/// 0..=27 for Table 2; 29+ are reserved for retransmissions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct McsIndex(pub u8);
+
+/// Which standardised MCS table is in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum McsTable {
+    /// Table 5.1.3.1-1 — maximum 64QAM (`qam64`).
+    Qam64,
+    /// Table 5.1.3.1-2 — maximum 256QAM (`qam256`).
+    Qam256,
+    /// Table 5.1.3.1-3 — low spectral efficiency (`qam64LowSE`).
+    Qam64LowSe,
+}
+
+/// One row of an MCS table: `(Q_m, R × 1024 × 10)`.
+///
+/// The ×10 keeps Table 2's half-step entries (682.5, 916.5) exact in
+/// integer form.
+type McsRow = (u8, u16);
+
+/// TS 38.214 Table 5.1.3.1-1 (qam64).
+const TABLE_QAM64: [McsRow; 29] = [
+    (2, 1200),
+    (2, 1570),
+    (2, 1930),
+    (2, 2510),
+    (2, 3080),
+    (2, 3790),
+    (2, 4490),
+    (2, 5260),
+    (2, 6020),
+    (2, 6790),
+    (4, 3400),
+    (4, 3780),
+    (4, 4340),
+    (4, 4900),
+    (4, 5530),
+    (4, 6160),
+    (4, 6580),
+    (6, 4380),
+    (6, 4660),
+    (6, 5170),
+    (6, 5670),
+    (6, 6160),
+    (6, 6660),
+    (6, 7190),
+    (6, 7720),
+    (6, 8220),
+    (6, 8730),
+    (6, 9100),
+    (6, 9480),
+];
+
+/// TS 38.214 Table 5.1.3.1-2 (qam256).
+const TABLE_QAM256: [McsRow; 28] = [
+    (2, 1200),
+    (2, 1930),
+    (2, 3080),
+    (2, 4490),
+    (2, 6020),
+    (4, 3780),
+    (4, 4340),
+    (4, 4900),
+    (4, 5530),
+    (4, 6160),
+    (4, 6580),
+    (6, 4660),
+    (6, 5170),
+    (6, 5670),
+    (6, 6160),
+    (6, 6660),
+    (6, 7190),
+    (6, 7720),
+    (6, 8220),
+    (6, 8730),
+    (8, 6825),
+    (8, 7110),
+    (8, 7540),
+    (8, 7970),
+    (8, 8410),
+    (8, 8850),
+    (8, 9165),
+    (8, 9480),
+];
+
+/// TS 38.214 Table 5.1.3.1-3 (qam64LowSE).
+const TABLE_QAM64_LOW_SE: [McsRow; 29] = [
+    (2, 300),
+    (2, 400),
+    (2, 500),
+    (2, 640),
+    (2, 780),
+    (2, 990),
+    (2, 1200),
+    (2, 1570),
+    (2, 1930),
+    (2, 2510),
+    (2, 3080),
+    (2, 3790),
+    (2, 4490),
+    (2, 5260),
+    (2, 6020),
+    (4, 3400),
+    (4, 3780),
+    (4, 4340),
+    (4, 4900),
+    (4, 5530),
+    (4, 6160),
+    (6, 4380),
+    (6, 4660),
+    (6, 5170),
+    (6, 5670),
+    (6, 6160),
+    (6, 6660),
+    (6, 7190),
+    (6, 7720),
+];
+
+impl McsTable {
+    /// Number of defined (non-reserved) MCS indices.
+    pub const fn len(self) -> u8 {
+        match self {
+            McsTable::Qam64 => 29,
+            McsTable::Qam256 => 28,
+            McsTable::Qam64LowSe => 29,
+        }
+    }
+
+    /// Always false — the tables are never empty; present for clippy's sake.
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Highest defined MCS index.
+    pub const fn max_index(self) -> McsIndex {
+        McsIndex(self.len() - 1)
+    }
+
+    /// Maximum modulation order the table can signal.
+    pub const fn max_modulation(self) -> Modulation {
+        match self {
+            McsTable::Qam64 | McsTable::Qam64LowSe => Modulation::Qam64,
+            McsTable::Qam256 => Modulation::Qam256,
+        }
+    }
+
+    fn row(self, index: McsIndex) -> Result<McsRow, PhyError> {
+        let i = index.0 as usize;
+        let row = match self {
+            McsTable::Qam64 => TABLE_QAM64.get(i),
+            McsTable::Qam256 => TABLE_QAM256.get(i),
+            McsTable::Qam64LowSe => TABLE_QAM64_LOW_SE.get(i),
+        };
+        row.copied().ok_or(PhyError::InvalidMcsIndex { index: index.0, table_len: self.len() })
+    }
+
+    /// Modulation order for an MCS index.
+    pub fn modulation(self, index: McsIndex) -> Result<Modulation, PhyError> {
+        let (q, _) = self.row(index)?;
+        Ok(Modulation::from_bits(q).expect("table rows hold valid Q_m"))
+    }
+
+    /// Target code rate R (0 < R < 1) for an MCS index.
+    pub fn code_rate(self, index: McsIndex) -> Result<f64, PhyError> {
+        let (_, r10) = self.row(index)?;
+        Ok(r10 as f64 / 10.0 / 1024.0)
+    }
+
+    /// Spectral efficiency in information bits per modulation symbol:
+    /// `Q_m · R`.
+    pub fn spectral_efficiency(self, index: McsIndex) -> Result<f64, PhyError> {
+        let (q, r10) = self.row(index)?;
+        Ok(q as f64 * r10 as f64 / 10.0 / 1024.0)
+    }
+
+    /// The highest MCS index whose spectral efficiency does not exceed
+    /// `target_se`, or index 0 if even that exceeds it.
+    ///
+    /// This is the primitive from which the vendor CQI→MCS mappings in
+    /// [`crate::cqi`] are built. The scan covers the whole table because
+    /// the standardised tables are *not* perfectly monotone in SE: e.g.
+    /// Table 1 dips from 2.5703 (index 16, 16QAM) to 2.5664 (index 17,
+    /// 64QAM) at the modulation transition.
+    pub fn highest_index_at_or_below(self, target_se: f64) -> McsIndex {
+        let mut best = McsIndex(0);
+        for i in 0..self.len() {
+            let idx = McsIndex(i);
+            let se = self.spectral_efficiency(idx).expect("index in range");
+            if se <= target_se {
+                best = idx;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lengths() {
+        assert_eq!(McsTable::Qam64.len(), 29);
+        assert_eq!(McsTable::Qam256.len(), 28);
+        assert_eq!(McsTable::Qam64LowSe.len(), 29);
+    }
+
+    #[test]
+    fn spot_check_against_spec() {
+        // Table 1, index 28: 64QAM, R = 948/1024.
+        assert_eq!(McsTable::Qam64.modulation(McsIndex(28)).unwrap(), Modulation::Qam64);
+        assert!((McsTable::Qam64.code_rate(McsIndex(28)).unwrap() - 948.0 / 1024.0).abs() < 1e-12);
+        // Table 2, index 20: 256QAM, R = 682.5/1024.
+        assert_eq!(McsTable::Qam256.modulation(McsIndex(20)).unwrap(), Modulation::Qam256);
+        assert!(
+            (McsTable::Qam256.code_rate(McsIndex(20)).unwrap() - 682.5 / 1024.0).abs() < 1e-12
+        );
+        // Table 2, index 26: 256QAM, R = 916.5/1024, SE = 7.1602 (spec: 7.1602).
+        let se = McsTable::Qam256.spectral_efficiency(McsIndex(26)).unwrap();
+        assert!((se - 8.0 * 916.5 / 1024.0).abs() < 1e-12);
+        // Low-SE table index 0: QPSK, R = 30/1024.
+        assert!(
+            (McsTable::Qam64LowSe.code_rate(McsIndex(0)).unwrap() - 30.0 / 1024.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn spectral_efficiency_is_nearly_monotone() {
+        // The spec tables dip by at most ~0.004 bits/symbol at modulation
+        // transitions (e.g. Table 1 index 16→17); otherwise SE increases.
+        for table in [McsTable::Qam64, McsTable::Qam256, McsTable::Qam64LowSe] {
+            let mut prev = 0.0;
+            for i in 0..table.len() {
+                let se = table.spectral_efficiency(McsIndex(i)).unwrap();
+                assert!(se >= prev - 0.005, "{table:?} index {i}: {se} << {prev}");
+                prev = se;
+            }
+        }
+    }
+
+    #[test]
+    fn the_known_table1_se_dip_exists() {
+        // Document the quirk the mapping code must survive.
+        let se16 = McsTable::Qam64.spectral_efficiency(McsIndex(16)).unwrap();
+        let se17 = McsTable::Qam64.spectral_efficiency(McsIndex(17)).unwrap();
+        assert!(se17 < se16);
+    }
+
+    #[test]
+    fn out_of_range_index_errors() {
+        assert!(McsTable::Qam64.modulation(McsIndex(29)).is_err());
+        assert!(McsTable::Qam256.code_rate(McsIndex(28)).is_err());
+    }
+
+    #[test]
+    fn highest_index_at_or_below_brackets() {
+        for table in [McsTable::Qam64, McsTable::Qam256] {
+            for target in [0.1, 1.0, 2.5, 4.0, 5.5, 7.0, 10.0] {
+                let idx = table.highest_index_at_or_below(target);
+                let se = table.spectral_efficiency(idx).unwrap();
+                // Chosen index does not exceed the target unless it's index 0.
+                assert!(se <= target || idx == McsIndex(0));
+                // No higher index would also fit under the target.
+                for j in idx.0 + 1..table.len() {
+                    let other = table.spectral_efficiency(McsIndex(j)).unwrap();
+                    assert!(other > target, "{table:?} target {target}: index {j} also fits");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_modulation_per_table() {
+        assert_eq!(McsTable::Qam64.max_modulation(), Modulation::Qam64);
+        assert_eq!(McsTable::Qam256.max_modulation(), Modulation::Qam256);
+    }
+}

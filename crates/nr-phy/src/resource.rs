@@ -1,0 +1,125 @@
+//! Resource-block / resource-element accounting (TS 38.211 §4.4.4).
+//!
+//! A resource block (RB) is 12 sub-carriers in frequency; a resource element
+//! (RE) is one sub-carrier × one OFDM symbol. The paper's Figure 3 plots
+//! per-slot RE allocations and its Figure 4 the per-operator maximum RB
+//! allocations; both derive from the accounting implemented here.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-carriers per resource block.
+pub const SUBCARRIERS_PER_RB: u16 = 12;
+
+/// OFDM symbols per slot (normal cyclic prefix).
+pub const SLOT_SYMBOLS: u8 = 14;
+
+/// The number of REs per PRB per slot is capped at 156 in the TBS procedure
+/// (TS 38.214 §5.1.3.2 step 2) to bound the code-rate calculation.
+pub const MAX_RE_PER_PRB: u16 = 156;
+
+/// A contiguous RB allocation for one transmission within one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RbAllocation {
+    /// Number of PRBs allocated.
+    pub n_prb: u16,
+    /// Scheduled data symbols in the slot (≤ 14; fewer in special slots).
+    pub n_symbols: u8,
+    /// DM-RS resource elements per PRB (typically 12 for 1-symbol type-A
+    /// DM-RS, more with additional positions).
+    pub dmrs_re_per_prb: u16,
+    /// Other overhead REs per PRB (CSI-RS, PDCCH within the BWP, ...);
+    /// the `xOverhead` of TS 38.214.
+    pub overhead_re_per_prb: u16,
+}
+
+impl RbAllocation {
+    /// A full-slot allocation of `n_prb` PRBs with typical overheads:
+    /// 13 data symbols (one PDCCH symbol), 12 DM-RS REs, no extra overhead.
+    pub fn full_slot(n_prb: u16) -> Self {
+        RbAllocation { n_prb, n_symbols: 13, dmrs_re_per_prb: 12, overhead_re_per_prb: 0 }
+    }
+
+    /// An allocation restricted to the DL portion of a special slot.
+    pub fn special_slot(n_prb: u16, dl_symbols: u8) -> Self {
+        RbAllocation {
+            n_prb,
+            n_symbols: dl_symbols.saturating_sub(1),
+            dmrs_re_per_prb: 12,
+            overhead_re_per_prb: 0,
+        }
+    }
+
+    /// Data REs per PRB after overheads: `12 · N_symb − N_dmrs − N_oh`,
+    /// floored at zero (a pathological overhead cannot go negative).
+    pub fn re_per_prb(&self) -> u16 {
+        (SUBCARRIERS_PER_RB as i32 * self.n_symbols as i32
+            - self.dmrs_re_per_prb as i32
+            - self.overhead_re_per_prb as i32)
+            .max(0) as u16
+    }
+
+    /// Effective REs per PRB for TBS purposes: capped at
+    /// [`MAX_RE_PER_PRB`] per TS 38.214 §5.1.3.2.
+    pub fn effective_re_per_prb(&self) -> u16 {
+        self.re_per_prb().min(MAX_RE_PER_PRB)
+    }
+
+    /// Total data REs in the allocation (uncapped — this is the quantity
+    /// behind the paper's Figure 3 RE-allocation CDF).
+    pub fn total_re(&self) -> u32 {
+        self.re_per_prb() as u32 * self.n_prb as u32
+    }
+
+    /// Total REs entering the TBS formula (with the per-PRB cap applied).
+    pub fn tbs_re(&self) -> u32 {
+        self.effective_re_per_prb() as u32 * self.n_prb as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_slot_re_counting() {
+        // 13 symbols × 12 SC − 12 DMRS = 144 data REs/PRB.
+        let a = RbAllocation::full_slot(273);
+        assert_eq!(a.re_per_prb(), 144);
+        assert_eq!(a.effective_re_per_prb(), 144);
+        assert_eq!(a.total_re(), 144 * 273);
+    }
+
+    #[test]
+    fn re_cap_applies() {
+        // 14 symbols, no overhead at all: 168 REs/PRB, capped at 156 for TBS.
+        let a = RbAllocation {
+            n_prb: 100,
+            n_symbols: 14,
+            dmrs_re_per_prb: 0,
+            overhead_re_per_prb: 0,
+        };
+        assert_eq!(a.re_per_prb(), 168);
+        assert_eq!(a.effective_re_per_prb(), 156);
+        assert_eq!(a.total_re(), 16_800);
+        assert_eq!(a.tbs_re(), 15_600);
+    }
+
+    #[test]
+    fn special_slot_has_fewer_symbols() {
+        let a = RbAllocation::special_slot(245, 10);
+        assert_eq!(a.n_symbols, 9);
+        assert!(a.re_per_prb() < RbAllocation::full_slot(245).re_per_prb());
+    }
+
+    #[test]
+    fn pathological_overhead_floors_at_zero() {
+        let a = RbAllocation {
+            n_prb: 10,
+            n_symbols: 1,
+            dmrs_re_per_prb: 12,
+            overhead_re_per_prb: 12,
+        };
+        assert_eq!(a.re_per_prb(), 0);
+        assert_eq!(a.total_re(), 0);
+    }
+}

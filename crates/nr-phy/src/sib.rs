@@ -1,0 +1,143 @@
+//! MIB/SIB-derived channel-information extraction (paper Appendix 10.1).
+//!
+//! During initial access the UE reads the MIB and SIB1; the SIB fields
+//! `absoluteFrequencyPointA`, `offsetToCarrier` and `carrierBandwidth` are
+//! what the paper's measurement pipeline decodes (via XCAL) to locate each
+//! operator's mid-band channel and its bandwidth. This module reproduces
+//! that derivation so operator profiles can be expressed — and verified —
+//! in the same terms the paper extracts from the air interface.
+
+use crate::band::NrArfcn;
+use crate::bandwidth::{occupied_bandwidth_khz, ChannelBandwidth};
+use crate::error::PhyError;
+use crate::numerology::Numerology;
+use serde::{Deserialize, Serialize};
+
+/// The subset of SIB1 / ServingCellConfigCommon fields the paper's
+/// Appendix 10.1 uses to identify a carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellFrequencyInfo {
+    /// `absoluteFrequencyPointA`: NR-ARFCN of "point A", the common RB-grid
+    /// reference at the lower edge of the carrier.
+    pub absolute_frequency_point_a: NrArfcn,
+    /// `offsetToCarrier`: offset from point A to the first usable
+    /// sub-carrier, in RBs at the carrier's SCS.
+    pub offset_to_carrier: u16,
+    /// `carrierBandwidth`: carrier width in RBs at the carrier's SCS
+    /// (N_RB, the row-7 quantity of Tables 2–3).
+    pub carrier_bandwidth_rb: u16,
+    /// Sub-carrier spacing of the carrier.
+    pub numerology: Numerology,
+}
+
+/// A decoded carrier location: what Appendix 10.1's procedure yields.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecodedCarrier {
+    /// Lower edge of the usable carrier, kHz.
+    pub low_edge_khz: u64,
+    /// Upper edge of the usable carrier, kHz.
+    pub high_edge_khz: u64,
+    /// Centre frequency, kHz.
+    pub center_khz: u64,
+    /// Occupied (transmission) bandwidth, kHz.
+    pub occupied_khz: u32,
+    /// N_RB of the carrier.
+    pub n_rb: u16,
+}
+
+impl CellFrequencyInfo {
+    /// Decode the carrier's position on the spectrum, replicating the
+    /// point-A + offset arithmetic of TS 38.211 §4.4.4.2.
+    pub fn decode(&self) -> Result<DecodedCarrier, PhyError> {
+        let point_a_khz = self.absolute_frequency_point_a.to_khz()?;
+        let rb_khz = 12 * self.numerology.scs_khz();
+        let low_edge_khz = point_a_khz + self.offset_to_carrier as u64 * rb_khz as u64;
+        let occupied_khz = occupied_bandwidth_khz(self.carrier_bandwidth_rb, self.numerology);
+        let high_edge_khz = low_edge_khz + occupied_khz as u64;
+        Ok(DecodedCarrier {
+            low_edge_khz,
+            high_edge_khz,
+            center_khz: low_edge_khz + occupied_khz as u64 / 2,
+            occupied_khz,
+            n_rb: self.carrier_bandwidth_rb,
+        })
+    }
+
+    /// Infer the nominal channel bandwidth (in MHz) from `carrierBandwidth`,
+    /// inverting the TS 38.101 N_RB table — the "lookup table 5.3.2-1" step
+    /// of Appendix 10.1. Returns `None` for N_RB values that match no
+    /// standard channel bandwidth at this SCS.
+    pub fn nominal_channel_bandwidth(&self) -> Option<ChannelBandwidth> {
+        const CANDIDATES_MHZ: [u32; 15] =
+            [5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100];
+        for mhz in CANDIDATES_MHZ {
+            let bw = ChannelBandwidth::from_mhz(mhz);
+            if let Ok(n) = crate::bandwidth::max_transmission_bandwidth(bw, self.numerology) {
+                if n == self.carrier_bandwidth_rb {
+                    return Some(bw);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_a_c_band_carrier() {
+        // A 90 MHz carrier at point A = 3 600 MHz (ARFCN 640000), offset 0.
+        let info = CellFrequencyInfo {
+            absolute_frequency_point_a: NrArfcn(640_000),
+            offset_to_carrier: 0,
+            carrier_bandwidth_rb: 245,
+            numerology: Numerology::Mu1,
+        };
+        let d = info.decode().unwrap();
+        assert_eq!(d.low_edge_khz, 3_600_000);
+        assert_eq!(d.occupied_khz, 245 * 12 * 30);
+        assert_eq!(d.high_edge_khz - d.low_edge_khz, d.occupied_khz as u64);
+        assert!(d.center_khz > d.low_edge_khz && d.center_khz < d.high_edge_khz);
+    }
+
+    #[test]
+    fn offset_to_carrier_shifts_the_grid() {
+        let base = CellFrequencyInfo {
+            absolute_frequency_point_a: NrArfcn(640_000),
+            offset_to_carrier: 0,
+            carrier_bandwidth_rb: 245,
+            numerology: Numerology::Mu1,
+        };
+        let shifted = CellFrequencyInfo { offset_to_carrier: 10, ..base };
+        let d0 = base.decode().unwrap();
+        let d10 = shifted.decode().unwrap();
+        assert_eq!(d10.low_edge_khz - d0.low_edge_khz, 10 * 12 * 30);
+    }
+
+    #[test]
+    fn nominal_bandwidth_inversion() {
+        for (n_rb, mhz) in [(106u16, 40u32), (162, 60), (217, 80), (245, 90), (273, 100)] {
+            let info = CellFrequencyInfo {
+                absolute_frequency_point_a: NrArfcn(640_000),
+                offset_to_carrier: 0,
+                carrier_bandwidth_rb: n_rb,
+                numerology: Numerology::Mu1,
+            };
+            assert_eq!(
+                info.nominal_channel_bandwidth(),
+                Some(ChannelBandwidth::from_mhz(mhz)),
+                "N_RB {n_rb}"
+            );
+        }
+        // A non-standard N_RB matches nothing.
+        let odd = CellFrequencyInfo {
+            absolute_frequency_point_a: NrArfcn(640_000),
+            offset_to_carrier: 0,
+            carrier_bandwidth_rb: 200,
+            numerology: Numerology::Mu1,
+        };
+        assert_eq!(odd.nominal_channel_bandwidth(), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! European operator profiles (paper Table 2).
+//!
+//! All eight deployments use n78 TDD at 30 kHz with a single carrier (no
+//! CA). They differ in channel bandwidth, TDD frame structure (§4.3),
+//! maximum modulation (§4.1), coverage density (Appendix 10.3) and uplink
+//! resource policy (§4.2). The calibration targets quoted per profile are
+//! the paper's reported values; `cargo test -p operators -- --ignored
+//! calibration_report --nocapture` prints the simulated equivalents.
+
+use crate::profile::{CarrierProfile, CoverageProfile, OperatorProfile};
+use nr_phy::cqi::{CqiTable, CqiToMcsPolicy};
+use nr_phy::mcs::McsTable;
+use nr_phy::tdd::{SpecialSlotConfig, TddPattern};
+use radio_channel::geometry::DeploymentLayout;
+use radio_channel::link::RankProfile;
+use ran::config::{CellConfig, UplinkRouting};
+use ran::lte::LteConfig;
+
+/// Special slot with no UL symbols (V_It's DL-heaviest configuration).
+const S_NO_UL: SpecialSlotConfig =
+    SpecialSlotConfig { dl_symbols: 12, guard_symbols: 2, ul_symbols: 0 };
+
+/// Shared EU baseline: NSA with an LTE anchor, NR-preferred UL.
+fn eu_base(
+    display_name: &'static str,
+    country: &'static str,
+    city: &'static str,
+    cell: CellConfig,
+    sinr_offset_db: f64,
+    rician_k_db: f64,
+    coverage: CoverageProfile,
+) -> OperatorProfile {
+    OperatorProfile {
+        display_name,
+        country,
+        city,
+        carriers: vec![CarrierProfile { cell, sinr_offset_db, rician_k_db }],
+        nsa: true,
+        routing: UplinkRouting::NrAboveCqi { threshold: 5 },
+        lte: Some(LteConfig::default()),
+        coverage,
+        ca_description: "No",
+        table_bandwidth_label: None,
+        table_nrb_label: None,
+    }
+}
+
+/// Rank thresholds of a dense, richly-scattering urban deployment: rank 4
+/// sustainable from the mid-teens of SINR (what 87% rank-4 usage at
+/// field-typical SINRs implies).
+fn dense_rank_profile() -> RankProfile {
+    RankProfile { rank2_db: 3.0, rank3_db: 7.0, rank4_db: 10.0, hysteresis_db: 1.0 }
+}
+
+fn dense_coverage() -> CoverageProfile {
+    CoverageProfile {
+        layout: DeploymentLayout::three_site_dense(),
+        rank_profile: dense_rank_profile(),
+        neighbor_load: 0.5,
+    }
+}
+
+fn sparse_coverage() -> CoverageProfile {
+    CoverageProfile {
+        layout: DeploymentLayout::two_site_sparse(),
+        rank_profile: RankProfile { rank2_db: 4.0, rank3_db: 9.0, rank4_db: 15.0, hysteresis_db: 1.0 },
+        neighbor_load: 0.5,
+    }
+}
+
+/// Vodafone Spain (Madrid), 90 MHz n78.
+///
+/// Paper targets: DL mean 743 Mbps (771 at CQI ≥ 12), UL 55.6 Mbps,
+/// rank-4 usage 87.1%, 256QAM share ~7.6%. Three-site coverage
+/// (Appendix 10.3) gives it the best RSRQ of the Madrid pair.
+pub fn vodafone_spain() -> OperatorProfile {
+    let mut cell = CellConfig::midband(90, "DDDSU");
+    // Conservative vendor CQI->MCS mapping (the paper: 256QAM used for
+    // only ~7.6% of grants even on 256QAM-capable channels).
+    cell.mcs_policy.index_offset = -3;
+    cell.ul_rb_fraction = 0.75;
+    cell.ul_max_mcs = 24;
+    eu_base("Vodafone Spain", "Spain", "Madrid", cell, 5.0, 7.0, dense_coverage())
+}
+
+/// Orange Spain (Madrid), 90 MHz n78 — the RAN-sharing twin of Vodafone's
+/// channel (Appendix 10.1 concludes Orange uses Vodafone spectrum).
+///
+/// Paper targets: DL mean 713 Mbps (759.7 at CQI ≥ 12), UL 95.6 Mbps
+/// (highest EU UL), rank-4 usage 83.8%.
+pub fn orange_spain_90() -> OperatorProfile {
+    let mut cell = CellConfig::midband(90, "DDDSU");
+    cell.mcs_policy.index_offset = -3;
+    cell.ul_rb_fraction = 0.7;
+    cell.ul_max_mcs = 20;
+    cell.max_ul_layers = 2;
+    eu_base("Orange Spain (90 MHz)", "Spain", "Madrid", cell, 4.5, 7.0, dense_coverage())
+}
+
+/// Orange Spain (Madrid), 100 MHz n78 — the paper's §4.1 case study: the
+/// *widest* EU channel with the *lowest* Spanish throughput.
+///
+/// Paper targets: DL mean 614.7 Mbps (557.4 at CQI ≥ 12), UL 64.3 Mbps,
+/// 64QAM maximum modulation (98% of grants), rank 3 dominant (74.1%),
+/// two-site coverage, highest §5 variability.
+pub fn orange_spain_100() -> OperatorProfile {
+    let mut cell = CellConfig::midband(100, "DDDSU");
+    // The 64QAM cap: CQI still reported on Table 2, scheduling from the
+    // 64QAM MCS table.
+    cell.mcs_policy = CqiToMcsPolicy {
+        cqi_table: CqiTable::Table2,
+        mcs_table: McsTable::Qam64,
+        index_offset: 0,
+    };
+    cell.ul_rb_fraction = 0.8;
+    cell.ul_max_mcs = 24;
+    let coverage = CoverageProfile {
+        layout: DeploymentLayout::two_site_sparse(),
+        // Sparse macro grid: rank 4 rarely sustainable (higher thresholds).
+        // Rank in a sparse macro grid is scattering-limited, not
+        // SNR-limited: even good-SINR periods rarely sustain 4 streams
+        // (the paper's Fig. 6: 13.8% rank-4 overall, yet its Fig. 2 shows
+        // O_Sp100 trailing even under CQI >= 12).
+        rank_profile: RankProfile {
+            rank2_db: 2.0,
+            rank3_db: 5.0,
+            rank4_db: 26.0,
+            hysteresis_db: 1.0,
+        },
+        neighbor_load: 0.5,
+    };
+    eu_base("Orange Spain (100 MHz)", "Spain", "Madrid", cell, 1.0, 5.0, coverage)
+}
+
+/// Orange France (Paris), 90 MHz n78, the French `DDDSUUDDDD` pattern.
+///
+/// Paper targets: DL mean 627.1 Mbps, UL 53.6 Mbps, user-plane latency
+/// 5.33 ms (BLER = 0).
+pub fn orange_france() -> OperatorProfile {
+    let mut cell = CellConfig::midband(90, "DDDSUUDDDD");
+    cell.ul_rb_fraction = 0.8;
+    cell.ul_max_mcs = 24;
+    eu_base("Orange France", "France", "Paris", cell, 1.5, 6.0, sparse_coverage())
+}
+
+/// SFR France (Paris), 80 MHz n78.
+///
+/// Paper targets: UL 31.1 Mbps; DL not reported in Fig. 1.
+pub fn sfr_france() -> OperatorProfile {
+    let mut cell = CellConfig::midband(80, "DDDSUUDDDD");
+    cell.ul_rb_fraction = 0.5;
+    cell.ul_max_mcs = 22;
+    eu_base("SFR France", "France", "Paris", cell, 2.0, 6.0, sparse_coverage())
+}
+
+/// Vodafone Italy (Rome), 80 MHz n78 — the EU throughput leader despite
+/// the narrowest bandwidth: DL-heaviest pattern (`DDDDDDDSUU` with a
+/// UL-free special slot) and the most stable channel (§5: lowest MCS and
+/// MIMO variability).
+///
+/// Paper targets: DL mean 809.8 Mbps, UL 88.0 Mbps, latency 6.93 ms
+/// (worst §4.3), V(2s) of throughput 42.3 ± 5.6 Mbps (lowest).
+pub fn vodafone_italy() -> OperatorProfile {
+    let mut cell = CellConfig::midband(80, "DDDDDDDSUU");
+    cell.tdd = Some(TddPattern::parse("DDDDDDDSUU", S_NO_UL).expect("static pattern"));
+    cell.max_ul_layers = 2;
+    cell.ul_rb_fraction = 0.7;
+    cell.ul_max_mcs = 24;
+    eu_base("Vodafone Italy", "Italy", "Rome", cell, 8.0, 10.0, dense_coverage())
+}
+
+/// Deutsche Telekom (Munich), 90 MHz n78.
+///
+/// Paper targets: DL mean 601.1 Mbps, UL 35.2 Mbps, latency 2.48 ms.
+pub fn telekom_germany() -> OperatorProfile {
+    let mut cell = CellConfig::midband(90, "DDDSU");
+    cell.ul_rb_fraction = 0.55;
+    cell.ul_max_mcs = 22;
+    eu_base("Deutsche Telekom", "Germany", "Munich", cell, 4.5, 6.0, sparse_coverage())
+}
+
+/// Vodafone Germany (Munich), 80 MHz n78 — the latency champion
+/// (`DDDSU` with a balanced special slot: 2.13 ms) but the weakest EU
+/// uplink (23.8 Mbps: tight UL RB policy).
+pub fn vodafone_germany() -> OperatorProfile {
+    let mut cell = CellConfig::midband(80, "DDDSU");
+    cell.tdd =
+        Some(TddPattern::parse("DDDSU", SpecialSlotConfig::BALANCED).expect("static pattern"));
+    cell.ul_rb_fraction = 0.35;
+    cell.ul_max_mcs = 20;
+    eu_base("Vodafone Germany", "Germany", "Munich", cell, 2.5, 7.0, dense_coverage())
+}

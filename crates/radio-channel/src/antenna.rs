@@ -1,0 +1,121 @@
+//! Sector antenna patterns (3GPP TR 36.814 / 38.901 §7.3).
+//!
+//! Macro sites in the studied cities are 3-sector: each sector's antenna
+//! has a parabolic azimuth pattern with ~65° half-power beamwidth and a
+//! 30 dB front-to-back floor. [`GnbSite`](crate::geometry::GnbSite)s are
+//! omnidirectional by default (the calibrated study layouts model sector
+//! orientation implicitly); attach a [`SectorPattern`] via
+//! [`crate::geometry::GnbSite::with_sector`] to study orientation effects
+//! explicitly.
+
+use crate::geometry::Position;
+use serde::{Deserialize, Serialize};
+
+/// The standard 3GPP parabolic azimuth pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SectorPattern {
+    /// Boresight azimuth, degrees (0 = east, counter-clockwise positive,
+    /// matching `atan2(y, x)`).
+    pub azimuth_deg: f64,
+    /// Half-power beamwidth θ_3dB, degrees (standard: 65).
+    pub beamwidth_deg: f64,
+    /// Maximum attenuation A_max at the back lobe, dB (standard: 30).
+    pub max_attenuation_db: f64,
+}
+
+impl SectorPattern {
+    /// A standard 65°/30 dB sector pointed at `azimuth_deg`.
+    pub fn standard(azimuth_deg: f64) -> Self {
+        SectorPattern { azimuth_deg, beamwidth_deg: 65.0, max_attenuation_db: 30.0 }
+    }
+
+    /// Azimuth attenuation toward a direction `theta_deg` (absolute
+    /// azimuth): `A(θ) = min(12 · (Δθ/θ_3dB)², A_max)` dB.
+    pub fn attenuation_db(&self, theta_deg: f64) -> f64 {
+        let mut delta = (theta_deg - self.azimuth_deg) % 360.0;
+        if delta > 180.0 {
+            delta -= 360.0;
+        } else if delta < -180.0 {
+            delta += 360.0;
+        }
+        (12.0 * (delta / self.beamwidth_deg).powi(2)).min(self.max_attenuation_db)
+    }
+
+    /// Attenuation from a site at `site_pos` toward a UE at `ue_pos`.
+    pub fn attenuation_towards(&self, site_pos: &Position, ue_pos: &Position) -> f64 {
+        let theta = (ue_pos.y - site_pos.y).atan2(ue_pos.x - site_pos.x).to_degrees();
+        self.attenuation_db(theta)
+    }
+
+    /// The classic 3-sector split: boresights 120° apart starting at
+    /// `first_azimuth_deg`.
+    pub fn three_sectors(first_azimuth_deg: f64) -> [SectorPattern; 3] {
+        [
+            SectorPattern::standard(first_azimuth_deg),
+            SectorPattern::standard(first_azimuth_deg + 120.0),
+            SectorPattern::standard(first_azimuth_deg + 240.0),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boresight_has_no_loss_and_back_lobe_floors() {
+        let p = SectorPattern::standard(0.0);
+        assert_eq!(p.attenuation_db(0.0), 0.0);
+        assert_eq!(p.attenuation_db(180.0), 30.0);
+        assert_eq!(p.attenuation_db(-180.0), 30.0);
+    }
+
+    #[test]
+    fn half_power_at_half_beamwidth() {
+        // At Δθ = θ_3dB/2 the parabola gives 12·(1/2)² = 3 dB.
+        let p = SectorPattern::standard(90.0);
+        assert!((p.attenuation_db(90.0 + 32.5) - 3.0).abs() < 1e-9);
+        assert!((p.attenuation_db(90.0 - 32.5) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wraparound_is_continuous() {
+        let p = SectorPattern::standard(170.0);
+        // A direction at −170° is only 20° away through the wrap.
+        assert!((p.attenuation_db(-170.0) - 12.0 * (20.0f64 / 65.0).powi(2)).abs() < 1e-9);
+        // Attenuation is symmetric around boresight.
+        for d in [5.0, 40.0, 90.0] {
+            assert!(
+                (p.attenuation_db(170.0 + d) - p.attenuation_db(170.0 - d)).abs() < 1e-9,
+                "delta {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_direction() {
+        let p = SectorPattern::standard(0.0); // pointing east
+        let site = Position::ORIGIN;
+        assert_eq!(p.attenuation_towards(&site, &Position::new(100.0, 0.0)), 0.0);
+        assert_eq!(p.attenuation_towards(&site, &Position::new(-100.0, 0.0)), 30.0);
+        // Due north is 90° off an east-pointing boresight:
+        // A = min(12·(90/65)², 30) ≈ 23.0 dB.
+        let north = p.attenuation_towards(&site, &Position::new(0.0, 100.0));
+        assert!((north - 12.0 * (90.0f64 / 65.0).powi(2)).abs() < 1e-9, "north {north}");
+    }
+
+    #[test]
+    fn three_sectors_cover_the_plane() {
+        // At any azimuth, at least one of the three sectors is within
+        // ~8.2 dB (the worst case falls midway between boresights: Δθ=60°,
+        // A = 12·(60/65)² ≈ 10.2 dB).
+        let sectors = SectorPattern::three_sectors(30.0);
+        for theta in (0..360).step_by(5) {
+            let best = sectors
+                .iter()
+                .map(|s| s.attenuation_db(f64::from(theta)))
+                .fold(f64::MAX, f64::min);
+            assert!(best <= 10.3, "theta {theta}: best {best}");
+        }
+    }
+}

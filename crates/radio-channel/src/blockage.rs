@@ -1,0 +1,173 @@
+//! mmWave blockage: the two-state (LOS / blocked) process behind FR2's
+//! erratic behaviour (paper §7).
+//!
+//! mmWave links lose 20–30 dB when a body, vehicle or street furniture
+//! interrupts the beam, and blockage events arrive far more often under
+//! mobility. We model blockage as a continuous-time two-state Markov chain
+//! sampled per slot, with arrival rate proportional to UE speed — the
+//! standard system-level abstraction (e.g. 3GPP TR 38.901 §7.6.4
+//! simplified). Mid-band channels diffract around obstacles, so their
+//! profiles disable blockage entirely.
+
+use crate::rng::SeedTree;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the blockage process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockageConfig {
+    /// Blockage events per metre travelled (plus a small static floor for
+    /// passers-by when stationary).
+    pub events_per_meter: f64,
+    /// Static blockage event rate, events/s, for a stationary UE.
+    pub static_events_per_s: f64,
+    /// Mean blockage duration, seconds.
+    pub mean_duration_s: f64,
+    /// Extra attenuation while blocked, dB.
+    pub loss_db: f64,
+}
+
+impl BlockageConfig {
+    /// No blockage at all (mid-band).
+    pub const NONE: BlockageConfig = BlockageConfig {
+        events_per_meter: 0.0,
+        static_events_per_s: 0.0,
+        mean_duration_s: 0.0,
+        loss_db: 0.0,
+    };
+
+    /// A 28 GHz urban profile: roughly one event every 15 m of travel,
+    /// occasional events when still, ~0.8 s mean duration, 25 dB loss.
+    pub fn mmwave_urban() -> Self {
+        BlockageConfig {
+            events_per_meter: 1.0 / 15.0,
+            static_events_per_s: 0.02,
+            mean_duration_s: 0.8,
+            loss_db: 25.0,
+        }
+    }
+
+    /// Whether the process can ever block.
+    pub fn is_active(&self) -> bool {
+        self.loss_db > 0.0 && (self.events_per_meter > 0.0 || self.static_events_per_s > 0.0)
+    }
+}
+
+/// The evolving blockage state of one link.
+#[derive(Debug, Clone)]
+pub struct BlockageProcess {
+    config: BlockageConfig,
+    rng: ChaCha12Rng,
+    blocked_remaining_s: f64,
+}
+
+impl BlockageProcess {
+    /// Start unblocked.
+    pub fn new(config: BlockageConfig, seeds: &SeedTree, link_label: &str) -> Self {
+        BlockageProcess {
+            config,
+            rng: seeds.stream(&format!("blockage/{link_label}")),
+            blocked_remaining_s: 0.0,
+        }
+    }
+
+    /// Whether the link is currently blocked.
+    pub fn is_blocked(&self) -> bool {
+        self.blocked_remaining_s > 0.0
+    }
+
+    /// Extra loss right now, dB.
+    pub fn loss_db(&self) -> f64 {
+        if self.is_blocked() {
+            self.config.loss_db
+        } else {
+            0.0
+        }
+    }
+
+    /// Advance by one step of `dt_s` seconds during which the UE moved
+    /// `moved_m` metres; returns the loss in force *after* the step.
+    pub fn advance(&mut self, dt_s: f64, moved_m: f64) -> f64 {
+        if !self.config.is_active() {
+            return 0.0;
+        }
+        if self.is_blocked() {
+            self.blocked_remaining_s -= dt_s;
+            if self.blocked_remaining_s < 0.0 {
+                self.blocked_remaining_s = 0.0;
+            }
+        } else {
+            // Poisson arrival within the step.
+            let rate = self.config.events_per_meter * moved_m
+                + self.config.static_events_per_s * dt_s;
+            let p_event = 1.0 - (-rate).exp();
+            if self.rng.gen::<f64>() < p_event {
+                // Exponential duration with the configured mean.
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                self.blocked_remaining_s = -self.config.mean_duration_s * u.ln();
+            }
+        }
+        self.loss_db()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_config_never_blocks() {
+        let mut p = BlockageProcess::new(BlockageConfig::NONE, &SeedTree::new(1), "l");
+        for _ in 0..10_000 {
+            assert_eq!(p.advance(0.0005, 0.01), 0.0);
+        }
+    }
+
+    #[test]
+    fn mobile_ue_blocks_more_than_static() {
+        let count_blocked = |speed_mps: f64, seed: u64| {
+            let mut p =
+                BlockageProcess::new(BlockageConfig::mmwave_urban(), &SeedTree::new(seed), "l");
+            let mut blocked = 0u32;
+            let dt = 0.0005;
+            for _ in 0..2_000_000 {
+                if p.advance(dt, speed_mps * dt) > 0.0 {
+                    blocked += 1;
+                }
+            }
+            blocked
+        };
+        let walking = count_blocked(1.4, 7);
+        let driving = count_blocked(11.0, 7);
+        assert!(driving > walking * 2, "driving {driving} vs walking {walking}");
+        let stationary = count_blocked(0.0, 7);
+        assert!(walking > stationary, "walking {walking} vs stationary {stationary}");
+    }
+
+    #[test]
+    fn blockage_fraction_sane_for_walking() {
+        // Walking: ~1.4/15 ≈ 0.093 events/s, 0.8 s each → ~7% of time
+        // blocked. Allow a wide band.
+        let mut p = BlockageProcess::new(BlockageConfig::mmwave_urban(), &SeedTree::new(3), "l");
+        let mut blocked = 0u32;
+        let n = 2_000_000;
+        let dt = 0.0005;
+        for _ in 0..n {
+            if p.advance(dt, 1.4 * dt) > 0.0 {
+                blocked += 1;
+            }
+        }
+        let frac = blocked as f64 / n as f64;
+        assert!(frac > 0.02 && frac < 0.15, "blocked fraction {frac}");
+    }
+
+    #[test]
+    fn loss_is_all_or_nothing() {
+        let mut p = BlockageProcess::new(BlockageConfig::mmwave_urban(), &SeedTree::new(5), "l");
+        for _ in 0..100_000 {
+            let l = p.advance(0.0005, 0.01);
+            assert!(l == 0.0 || l == 25.0);
+        }
+    }
+}

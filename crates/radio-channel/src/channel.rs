@@ -1,0 +1,429 @@
+//! The composed per-slot channel simulator.
+//!
+//! [`ChannelSimulator`] wires the deployment geometry, path loss,
+//! correlated shadowing, Doppler-matched fading, and (for mmWave) the
+//! blockage process into a single per-slot stream of [`ChannelState`] —
+//! the radio truth the RAN simulator schedules against and the XCAL-like
+//! collector logs.
+
+use crate::blockage::{BlockageConfig, BlockageProcess};
+use crate::fading::{FadingConfig, FadingProcess};
+use crate::geometry::{DeploymentLayout, Position};
+use crate::mobility::{MobilityModel, MobilityState};
+use crate::pathloss::PathLossModel;
+use crate::rng::SeedTree;
+use crate::shadowing::{ShadowingConfig, ShadowingProcess};
+use crate::signal::{RadioMeasurement, SignalConfig};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a radio environment for one carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Path-loss model (scenario + carrier frequency).
+    pub pathloss: PathLossModel,
+    /// Shadowing parameters (σ usually from the path-loss scenario).
+    pub shadowing: ShadowingConfig,
+    /// Rician K-factor in dB for the fading process.
+    pub rician_k_db: f64,
+    /// Blockage process parameters ([`BlockageConfig::NONE`] for FR1).
+    pub blockage: BlockageConfig,
+    /// Signal/noise arithmetic parameters.
+    pub signal: SignalConfig,
+    /// Calibration offset added to the serving SINR in dB. Operator
+    /// profiles use this to express systematic differences (antenna gains,
+    /// downtilt quality, interference coordination) that the geometric
+    /// model does not capture individually.
+    pub sinr_offset_db: f64,
+    /// Handover hysteresis (A3-style): a neighbour must exceed the serving
+    /// cell's large-scale power by this margin before the UE switches.
+    /// Prevents serving-cell ping-pong under shadowing churn.
+    pub handover_hysteresis_db: f64,
+    /// Slot duration in seconds (0.5 ms at µ=1, 0.125 ms at µ=3).
+    pub slot_s: f64,
+}
+
+impl ChannelConfig {
+    /// A mid-band urban-macro environment for a carrier with `n_rb` RBs.
+    /// Uses the LOS-probability-blended UMa path loss, which is what makes
+    /// deployment density matter (the Fig. 7/22 mechanism).
+    pub fn midband_urban(n_rb: u16) -> Self {
+        let pathloss = PathLossModel::new(crate::pathloss::Scenario::UmaBlended, 3.5);
+        ChannelConfig {
+            pathloss,
+            shadowing: ShadowingConfig {
+                sigma_db: pathloss.shadow_sigma_db(),
+                decorrelation_m: 37.0,
+                env_speed_mps: 1.5,
+            },
+            rician_k_db: 6.0,
+            blockage: BlockageConfig::NONE,
+            signal: SignalConfig::midband(n_rb),
+            // Serving-beam gain: the serving cell's codebook beamforming
+            // and downtilt coordination benefit the scheduled UE but not
+            // the interference it receives.
+            sinr_offset_db: 3.0,
+            handover_hysteresis_db: 3.0,
+            slot_s: 0.5e-3,
+        }
+    }
+
+    /// A 28 GHz urban mmWave environment (blockage active, µ=3 slots).
+    pub fn mmwave_urban(n_rb: u16) -> Self {
+        let pathloss = PathLossModel::new(crate::pathloss::Scenario::UmiLos, 28.0);
+        ChannelConfig {
+            pathloss,
+            shadowing: ShadowingConfig {
+                sigma_db: pathloss.shadow_sigma_db(),
+                decorrelation_m: 10.0,
+                env_speed_mps: 1.0,
+            },
+            rician_k_db: 9.0,
+            blockage: BlockageConfig::mmwave_urban(),
+            signal: SignalConfig {
+                n_rb,
+                scs_khz: 120,
+                noise_figure_db: 7.0,
+                neighbor_load: 0.2,
+                serving_load: 1.0,
+                background_interference_dbm: -115.0,
+            },
+            sinr_offset_db: 18.0, // beamforming gain of large FR2 arrays
+            handover_hysteresis_db: 3.0,
+            slot_s: 0.125e-3,
+        }
+    }
+}
+
+/// The channel truth for one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelState {
+    /// Slot index since simulator start.
+    pub slot: u64,
+    /// UE position this slot.
+    pub position: Position,
+    /// Serving site id.
+    pub serving_site: u32,
+    /// 2D distance to the serving site, metres.
+    pub serving_distance_m: f64,
+    /// Large-scale measurement (RSRP/RSSI/RSRQ and mean SINR — no fast
+    /// fading, as a measurement report would average it out).
+    pub measurement: RadioMeasurement,
+    /// Instantaneous post-equalisation SINR including fading and blockage,
+    /// the quantity link adaptation reacts to.
+    pub sinr_db: f64,
+    /// Whether an mmWave blockage is in force.
+    pub blocked: bool,
+}
+
+/// Per-slot channel simulator for one UE on one carrier.
+#[derive(Debug, Clone)]
+pub struct ChannelSimulator {
+    config: ChannelConfig,
+    layout: DeploymentLayout,
+    mobility: MobilityState,
+    fading: FadingProcess,
+    shadow: Vec<ShadowingProcess>,
+    blockage: BlockageProcess,
+    slot: u64,
+    serving_idx: Option<usize>,
+}
+
+impl ChannelSimulator {
+    /// Build a simulator. `seeds` should already be scoped to the session
+    /// and carrier so repeated sessions differ.
+    pub fn new(
+        config: ChannelConfig,
+        layout: DeploymentLayout,
+        mobility: MobilityModel,
+        seeds: &SeedTree,
+    ) -> Self {
+        let speed = mobility.speed_mps();
+        let fading_cfg = FadingConfig {
+            frequency_ghz: config.pathloss.frequency_ghz,
+            speed_mps: speed,
+            rician_k_db: config.rician_k_db,
+            slot_s: config.slot_s,
+        };
+        let shadow = layout
+            .sites
+            .iter()
+            .map(|s| ShadowingProcess::new(config.shadowing, seeds, &format!("site{}", s.id)))
+            .collect();
+        ChannelSimulator {
+            fading: FadingProcess::new(fading_cfg, seeds, "serving"),
+            blockage: BlockageProcess::new(config.blockage, seeds, "serving"),
+            mobility: mobility.into_state(seeds),
+            config,
+            layout,
+            shadow,
+            slot: 0,
+            serving_idx: None,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// The deployment layout.
+    pub fn layout(&self) -> &DeploymentLayout {
+        &self.layout
+    }
+
+    /// Advance one slot using the internal mobility model.
+    pub fn step(&mut self) -> ChannelState {
+        let moved = self.mobility.advance(self.config.slot_s);
+        let position = self.mobility.position();
+        self.step_at(position, moved)
+    }
+
+    /// Advance one slot with an externally-supplied position (used when
+    /// several component carriers share one UE: the CA driver advances
+    /// mobility once and steps every carrier's channel at that position).
+    pub fn step_at(&mut self, position: Position, moved_m: f64) -> ChannelState {
+        let slot = self.slot;
+        self.slot += 1;
+        let moved = moved_m;
+
+        // Large-scale: per-site received per-RE power.
+        let mut rx: Vec<(u32, f64, f64)> = Vec::with_capacity(self.layout.sites.len());
+        for (site, shadow) in self.layout.sites.iter().zip(self.shadow.iter_mut()) {
+            let sh = shadow.advance_with_time(moved, self.config.slot_s);
+            let pl = self.config.pathloss.loss_db(site.distance_3d(&position));
+            let sector = site.sector_attenuation_db(&position);
+            let p = self.config.signal.tx_per_re_dbm(site.tx_power_dbm) - pl - sector + sh;
+            rx.push((site.id, p, site.position.distance_to(&position)));
+        }
+        // Serving-cell selection with A3-style hysteresis: stick with the
+        // current cell until a neighbour beats it by the configured margin
+        // (RRC signalling costs are modelled separately in the RAN layer).
+        let (best_idx, _) = rx
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("powers are finite"))
+            .expect("layout is non-empty");
+        let serving_idx = match self.serving_idx {
+            Some(cur) if cur < rx.len() => {
+                if rx[best_idx].1 > rx[cur].1 + self.config.handover_hysteresis_db {
+                    best_idx
+                } else {
+                    cur
+                }
+            }
+            _ => best_idx,
+        };
+        self.serving_idx = Some(serving_idx);
+        let (serving_site, serving_re_dbm, serving_distance_m) = rx[serving_idx];
+        let interferers: Vec<f64> = rx
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != serving_idx)
+            .map(|(_, &(_, p, _))| p)
+            .collect();
+
+        let measurement =
+            RadioMeasurement::compute(&self.config.signal, serving_re_dbm, &interferers);
+
+        // Small-scale on top of the mean SINR.
+        let fading_db = self.fading.advance_slot();
+        let blockage_db = self.blockage.advance(self.config.slot_s, moved);
+        let sinr_db =
+            measurement.sinr_db + self.config.sinr_offset_db + fading_db - blockage_db;
+
+        ChannelState {
+            slot,
+            position,
+            serving_site,
+            serving_distance_m,
+            measurement: RadioMeasurement {
+                sinr_db: measurement.sinr_db + self.config.sinr_offset_db,
+                ..measurement
+            },
+            sinr_db,
+            blocked: blockage_db > 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::GnbSite;
+
+    fn sim(layout: DeploymentLayout, mobility: MobilityModel, seed: u64) -> ChannelSimulator {
+        ChannelSimulator::new(
+            ChannelConfig::midband_urban(245),
+            layout,
+            mobility,
+            &SeedTree::new(seed),
+        )
+    }
+
+    #[test]
+    fn stationary_ue_drifts_only_slowly() {
+        // A stationary UE's large-scale signal evolves through environment
+        // churn, but over half a second the drift stays well within one
+        // shadowing sigma (the churn decorrelation time is ~75 s).
+        let mut s = sim(
+            DeploymentLayout::single_site(),
+            MobilityModel::Stationary { position: Position::new(80.0, 0.0) },
+            1,
+        );
+        let first = s.step();
+        let mut max_drift: f64 = 0.0;
+        for _ in 0..1000 {
+            let st = s.step();
+            max_drift = max_drift.max((st.measurement.rsrp_dbm - first.measurement.rsrp_dbm).abs());
+            assert_eq!(st.serving_site, first.serving_site);
+        }
+        assert!(max_drift > 0.0, "churn must move the large scale a little");
+        assert!(max_drift < 4.0, "drift {max_drift} dB too fast for 0.5 s");
+    }
+
+    #[test]
+    fn fading_moves_the_instantaneous_sinr() {
+        let mut s = sim(
+            DeploymentLayout::single_site(),
+            MobilityModel::Stationary { position: Position::new(80.0, 0.0) },
+            2,
+        );
+        let states: Vec<ChannelState> = (0..2000).map(|_| s.step()).collect();
+        let mean_sinr =
+            states.iter().map(|st| st.sinr_db).sum::<f64>() / states.len() as f64;
+        let large_scale = states[0].measurement.sinr_db;
+        assert!((mean_sinr - large_scale).abs() < 1.0, "{mean_sinr} vs {large_scale}");
+        let any_motion = states.windows(2).any(|w| w[0].sinr_db != w[1].sinr_db);
+        assert!(any_motion);
+    }
+
+    #[test]
+    fn closer_ue_sees_better_sinr() {
+        let run = |x: f64| {
+            let mut s = sim(
+                DeploymentLayout::single_site(),
+                MobilityModel::Stationary { position: Position::new(x, 0.0) },
+                3,
+            );
+            (0..500).map(|_| s.step().sinr_db).sum::<f64>() / 500.0
+        };
+        assert!(run(40.0) > run(400.0) + 10.0);
+    }
+
+    #[test]
+    fn dense_layout_improves_rsrq() {
+        // The Fig. 7 contrast: average RSRQ along the same walk is better
+        // under the 3-site layout than the 2-site layout.
+        let walk = || MobilityModel::Route {
+            waypoints: vec![
+                Position::new(-200.0, -60.0),
+                Position::new(200.0, -60.0),
+                Position::new(200.0, 60.0),
+                Position::new(-200.0, 60.0),
+            ],
+            speed_mps: 1.4,
+        };
+        let averages = |layout: DeploymentLayout| {
+            let mut s = sim(layout, walk(), 4);
+            let n = 40_000;
+            let mut rsrp = 0.0;
+            let mut rsrq = 0.0;
+            let mut sinr = 0.0;
+            for _ in 0..n {
+                let st = s.step();
+                rsrp += st.measurement.rsrp_dbm;
+                rsrq += st.measurement.rsrq_db;
+                sinr += st.measurement.sinr_db;
+            }
+            (rsrp / n as f64, rsrq / n as f64, sinr / n as f64)
+        };
+        let (rsrp_s, rsrq_s, sinr_s) = averages(DeploymentLayout::two_site_sparse());
+        let (rsrp_d, rsrq_d, sinr_d) = averages(DeploymentLayout::three_site_dense());
+        assert!(rsrp_d > rsrp_s + 3.0, "RSRP dense {rsrp_d} vs sparse {rsrp_s}");
+        assert!(sinr_d > sinr_s, "SINR dense {sinr_d} vs sparse {sinr_s}");
+        assert!(rsrq_d > rsrq_s - 0.2, "RSRQ dense {rsrq_d} vs sparse {rsrq_s}");
+    }
+
+    #[test]
+    fn handover_to_nearest_site_while_driving() {
+        let layout = DeploymentLayout::new(vec![
+            GnbSite::macro_site(1, Position::new(-300.0, 0.0)),
+            GnbSite::macro_site(2, Position::new(300.0, 0.0)),
+        ]);
+        let route = MobilityModel::Route {
+            waypoints: vec![Position::new(-300.0, 20.0), Position::new(300.0, 20.0)],
+            speed_mps: 11.0,
+        };
+        let mut s = sim(layout, route, 5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..120_000 {
+            seen.insert(s.step().serving_site);
+        }
+        assert_eq!(seen.len(), 2, "both sites should serve along the route");
+    }
+
+    #[test]
+    fn mmwave_blockage_causes_deep_dips() {
+        let cfg = ChannelConfig::mmwave_urban(264);
+        let mut s = ChannelSimulator::new(
+            cfg,
+            DeploymentLayout::single_site(),
+            MobilityModel::walking(Position::new(60.0, 0.0), 40.0),
+            &SeedTree::new(6),
+        );
+        let states: Vec<ChannelState> = (0..400_000).map(|_| s.step()).collect();
+        let blocked: Vec<&ChannelState> = states.iter().filter(|st| st.blocked).collect();
+        assert!(!blocked.is_empty(), "expected some blockage while walking");
+        let mean_blocked =
+            blocked.iter().map(|st| st.sinr_db).sum::<f64>() / blocked.len() as f64;
+        let unblocked: Vec<&ChannelState> = states.iter().filter(|st| !st.blocked).collect();
+        let mean_clear =
+            unblocked.iter().map(|st| st.sinr_db).sum::<f64>() / unblocked.len() as f64;
+        assert!(mean_clear - mean_blocked > 15.0, "{mean_clear} vs {mean_blocked}");
+    }
+
+    #[test]
+    fn sectored_site_shapes_coverage() {
+        use crate::antenna::SectorPattern;
+        use crate::geometry::GnbSite;
+        // One site pointing east: a UE to the east sees ~30 dB more signal
+        // than a UE to the west at the same distance.
+        let east_facing = DeploymentLayout::new(vec![
+            GnbSite::macro_site(1, Position::ORIGIN).with_sector(SectorPattern::standard(0.0)),
+        ]);
+        let mean_rsrp = |x: f64, seed: u64| {
+            let mut s = ChannelSimulator::new(
+                ChannelConfig::midband_urban(245),
+                east_facing.clone(),
+                MobilityModel::Stationary { position: Position::new(x, 0.0) },
+                &SeedTree::new(seed),
+            );
+            (0..500).map(|_| s.step().measurement.rsrp_dbm).sum::<f64>() / 500.0
+        };
+        let front = mean_rsrp(120.0, 7);
+        let back = mean_rsrp(-120.0, 7);
+        assert!(
+            front - back > 20.0,
+            "front {front} vs back {back} (expected ~30 dB front-to-back)"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            sim(
+                DeploymentLayout::three_site_dense(),
+                MobilityModel::walking(Position::ORIGIN, 100.0),
+                42,
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..500 {
+            let sa = a.step();
+            let sb = b.step();
+            assert_eq!(sa.sinr_db, sb.sinr_db);
+            assert_eq!(sa.serving_site, sb.serving_site);
+        }
+    }
+}

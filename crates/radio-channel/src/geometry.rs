@@ -1,0 +1,205 @@
+//! Positions, gNB sites and deployment layouts.
+//!
+//! The paper's Appendix 10.3 explains the Madrid throughput gap by
+//! deployment geometry: Vodafone Spain covers the measurement area with
+//! *three* gNBs, Orange Spain with *two*, so Vodafone UEs enjoy better
+//! RSRQ and higher MIMO ranks. [`DeploymentLayout`] captures exactly this
+//! — a set of sites plus the serving-cell selection rule.
+
+use serde::{Deserialize, Serialize};
+
+/// A planar position in metres. The study areas are a few hundred metres
+/// across, so a local tangent plane is exact enough.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// East coordinate, metres.
+    pub x: f64,
+    /// North coordinate, metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Origin.
+    pub const ORIGIN: Position = Position { x: 0.0, y: 0.0 };
+
+    /// Construct.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean (2D) distance to another position, metres.
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation towards `other` by fraction `t ∈ [0,1]`.
+    pub fn lerp(&self, other: &Position, t: f64) -> Position {
+        Position { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+    }
+}
+
+/// One gNB site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GnbSite {
+    /// Site identifier (the paper extracts gNB IDs from RRC messages).
+    pub id: u32,
+    /// Planar position.
+    pub position: Position,
+    /// Antenna height above the UE plane, metres (UMa default 25 m).
+    pub height_m: f64,
+    /// Total transmit power over the carrier, dBm (mid-band macro ≈ 43–46).
+    pub tx_power_dbm: f64,
+    /// Optional sector antenna pattern; `None` models the site as
+    /// omnidirectional (the calibrated study layouts fold sector
+    /// orientation into their power/offset calibration).
+    pub sector: Option<crate::antenna::SectorPattern>,
+}
+
+impl GnbSite {
+    /// A macro site with UMa defaults at a position (omnidirectional).
+    pub fn macro_site(id: u32, position: Position) -> Self {
+        GnbSite { id, position, height_m: 25.0, tx_power_dbm: 44.0, sector: None }
+    }
+
+    /// Attach a sector pattern.
+    pub fn with_sector(mut self, sector: crate::antenna::SectorPattern) -> Self {
+        self.sector = Some(sector);
+        self
+    }
+
+    /// Azimuth antenna attenuation toward a UE, dB (0 when omni).
+    pub fn sector_attenuation_db(&self, ue: &Position) -> f64 {
+        self.sector.map(|s| s.attenuation_towards(&self.position, ue)).unwrap_or(0.0)
+    }
+
+    /// 3D distance from the site antenna to a UE at 1.5 m height.
+    pub fn distance_3d(&self, ue: &Position) -> f64 {
+        let d2 = self.position.distance_to(ue);
+        let dh = self.height_m - 1.5;
+        (d2 * d2 + dh * dh).sqrt()
+    }
+}
+
+/// A deployment layout: the sites of one operator around a study area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentLayout {
+    /// All sites, at least one.
+    pub sites: Vec<GnbSite>,
+}
+
+impl DeploymentLayout {
+    /// Build a layout from sites; panics if empty (a deployment without a
+    /// site is a programmer error, not runtime input).
+    pub fn new(sites: Vec<GnbSite>) -> Self {
+        assert!(!sites.is_empty(), "a deployment needs at least one site");
+        DeploymentLayout { sites }
+    }
+
+    /// The paper's sparse Madrid deployment: two sites ~500 m apart
+    /// (Orange Spain around the test area).
+    pub fn two_site_sparse() -> Self {
+        DeploymentLayout::new(vec![
+            GnbSite::macro_site(1, Position::new(-260.0, 0.0)),
+            GnbSite::macro_site(2, Position::new(260.0, 40.0)),
+        ])
+    }
+
+    /// The paper's dense Madrid deployment: three sites covering the same
+    /// area (Vodafone Spain).
+    pub fn three_site_dense() -> Self {
+        DeploymentLayout::new(vec![
+            GnbSite::macro_site(1, Position::new(-180.0, -30.0)),
+            GnbSite::macro_site(2, Position::new(30.0, 150.0)),
+            GnbSite::macro_site(3, Position::new(200.0, -40.0)),
+        ])
+    }
+
+    /// A single-site layout at the origin — the §5.2 single-cell,
+    /// multi-location experiments (paper Fig. 14).
+    pub fn single_site() -> Self {
+        DeploymentLayout::new(vec![GnbSite::macro_site(1, Position::ORIGIN)])
+    }
+
+    /// The nearest site to a UE position — the serving-cell rule (path loss
+    /// is monotone in distance here, so nearest = strongest on average).
+    pub fn serving_site(&self, ue: &Position) -> &GnbSite {
+        self.sites
+            .iter()
+            .min_by(|a, b| {
+                a.position
+                    .distance_to(ue)
+                    .partial_cmp(&b.position.distance_to(ue))
+                    .expect("distances are finite")
+            })
+            .expect("layout is non-empty")
+    }
+
+    /// Distance from the UE to its serving site, metres (2D).
+    pub fn serving_distance(&self, ue: &Position) -> f64 {
+        self.serving_site(ue).position.distance_to(ue)
+    }
+
+    /// Interfering sites: every site except the serving one.
+    pub fn interferers(&self, ue: &Position) -> impl Iterator<Item = &GnbSite> {
+        let serving_id = self.serving_site(ue).id;
+        self.sites.iter().filter(move |s| s.id != serving_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert_eq!(a.distance_to(&b), 5.0);
+        let mid = a.lerp(&b, 0.5);
+        assert_eq!(mid.x, 1.5);
+        assert_eq!(mid.y, 2.0);
+    }
+
+    #[test]
+    fn distance_3d_includes_height() {
+        let site = GnbSite::macro_site(1, Position::ORIGIN);
+        let d = site.distance_3d(&Position::ORIGIN);
+        assert!((d - 23.5).abs() < 1e-9); // 25 − 1.5 m of height difference
+        assert!(site.distance_3d(&Position::new(100.0, 0.0)) > 100.0);
+    }
+
+    #[test]
+    fn dense_layout_serves_closer() {
+        // On average over the study area, the 3-site layout leaves the UE
+        // closer to its serving gNB than the 2-site layout — the geometric
+        // root of the paper's Fig. 7 RSRQ difference.
+        let sparse = DeploymentLayout::two_site_sparse();
+        let dense = DeploymentLayout::three_site_dense();
+        let mut sum_sparse = 0.0;
+        let mut sum_dense = 0.0;
+        let mut n = 0;
+        for xi in -5..=5 {
+            for yi in -5..=5 {
+                let p = Position::new(xi as f64 * 40.0, yi as f64 * 40.0);
+                sum_sparse += sparse.serving_distance(&p);
+                sum_dense += dense.serving_distance(&p);
+                n += 1;
+            }
+        }
+        assert!(sum_dense / n as f64 * 1.15 < sum_sparse / n as f64);
+    }
+
+    #[test]
+    fn serving_site_is_nearest() {
+        let layout = DeploymentLayout::three_site_dense();
+        let ue = Position::new(190.0, -35.0);
+        assert_eq!(layout.serving_site(&ue).id, 3);
+        assert_eq!(layout.interferers(&ue).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn empty_layout_panics() {
+        DeploymentLayout::new(vec![]);
+    }
+}

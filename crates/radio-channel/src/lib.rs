@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # radio-channel — the radio environment the paper measured
+//!
+//! The paper's §4.1 root-causes throughput differences between operators
+//! with similar channel bandwidths to *channel conditions*: coverage
+//! density (Fig. 7/22), RSRQ, and the resulting MIMO-rank and MCS
+//! distributions. This crate supplies that radio environment for the
+//! slot-level RAN simulator in the `ran` crate:
+//!
+//! * [`geometry`] — positions, gNB sites, deployment layouts (the paper's
+//!   2-site vs 3-site Madrid comparison);
+//! * [`pathloss`] — 3GPP TR 38.901 UMa/UMi path-loss models;
+//! * [`shadowing`] — spatially-correlated log-normal shadowing
+//!   (Gudmundson exponential correlation);
+//! * [`fading`] — Doppler-matched small-scale fading (AR(1) over slots)
+//!   with a Rician LOS component;
+//! * [`signal`] — RSRP / RSSI / RSRQ / SINR arithmetic (paper Fig. 7);
+//! * [`link`] — SINR→CQI mapping, per-MCS BLER curves and rank (RI)
+//!   selection: the UE-side origin of every CSI report;
+//! * [`mobility`] — stationary / walking / driving movement models (§7);
+//! * [`blockage`] — the two-state mmWave blockage process that makes FR2
+//!   channels erratic under mobility (§7);
+//! * [`channel`] — [`channel::ChannelSimulator`], which composes all of
+//!   the above into a per-slot channel-state stream;
+//! * [`rng`] — deterministic, labelled sub-streams of a campaign seed.
+//!
+//! Everything is deterministic given a seed; experiments in `measure`
+//! re-run bit-identically.
+
+pub mod antenna;
+pub mod blockage;
+pub mod channel;
+pub mod fading;
+pub mod geometry;
+pub mod link;
+pub mod mobility;
+pub mod pathloss;
+pub mod rng;
+pub mod scout;
+pub mod shadowing;
+pub mod signal;
+
+pub use antenna::SectorPattern;
+pub use channel::{ChannelSimulator, ChannelState};
+pub use geometry::{DeploymentLayout, GnbSite, Position};
+pub use link::{LinkModel, RankProfile};
+pub use mobility::MobilityModel;
+pub use pathloss::{PathLossModel, Scenario};
+pub use rng::SeedTree;
+pub use signal::{RadioMeasurement, SignalConfig};

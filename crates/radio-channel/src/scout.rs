@@ -1,0 +1,148 @@
+//! Coverage scouting (paper §2 ❶).
+//!
+//! Before measuring, the study scouted each city for areas with "good"
+//! signal quality (RSRP > −90 dBm, RSRQ > −12 dB) using GNetTrack Pro.
+//! Crucially, the measurement areas are *per city*, shared by every
+//! operator measured there — which is why deployment density shows up in
+//! the data: at the same tourist spot, the operator with three nearby
+//! sites beats the one with two distant ones (Fig. 7 / Appendix 10.3).
+//!
+//! [`survey`] evaluates the large-scale (no fading, nominal shadowing)
+//! signal at candidate spots; [`standard_study_spots`] is the shared
+//! city-area candidate grid the campaign uses.
+
+use crate::channel::ChannelConfig;
+use crate::geometry::{DeploymentLayout, Position};
+use crate::signal::RadioMeasurement;
+use serde::{Deserialize, Serialize};
+
+/// The large-scale signal situation at one candidate spot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoutReport {
+    /// The candidate position.
+    pub position: Position,
+    /// Large-scale measurement (zero shadowing, no fading).
+    pub measurement: RadioMeasurement,
+    /// Serving site at this spot.
+    pub serving_site: u32,
+    /// 2D distance to the serving site, metres.
+    pub serving_distance_m: f64,
+}
+
+impl ScoutReport {
+    /// The paper's scouting acceptance rule.
+    pub fn is_good(&self) -> bool {
+        self.measurement.is_good_coverage()
+    }
+}
+
+/// Evaluate the large-scale signal at each candidate position.
+pub fn survey(
+    config: &ChannelConfig,
+    layout: &DeploymentLayout,
+    candidates: &[Position],
+) -> Vec<ScoutReport> {
+    candidates
+        .iter()
+        .map(|&position| {
+            let mut rx: Vec<(u32, f64, f64)> = layout
+                .sites
+                .iter()
+                .map(|site| {
+                    let pl = config.pathloss.loss_db(site.distance_3d(&position));
+                    (
+                        site.id,
+                        config.signal.tx_per_re_dbm(site.tx_power_dbm) - pl,
+                        site.position.distance_to(&position),
+                    )
+                })
+                .collect();
+            rx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite powers"));
+            let (serving_site, serving_dbm, serving_distance_m) = rx[0];
+            let interferers: Vec<f64> = rx[1..].iter().map(|r| r.1).collect();
+            let mut measurement =
+                RadioMeasurement::compute(&config.signal, serving_dbm, &interferers);
+            measurement.sinr_db += config.sinr_offset_db;
+            ScoutReport { position, measurement, serving_site, serving_distance_m }
+        })
+        .collect()
+}
+
+/// Candidates passing the paper's scouting rule, best RSRP first.
+pub fn good_spots(
+    config: &ChannelConfig,
+    layout: &DeploymentLayout,
+    candidates: &[Position],
+) -> Vec<ScoutReport> {
+    let mut good: Vec<ScoutReport> = survey(config, layout, candidates)
+        .into_iter()
+        .filter(|r| r.is_good())
+        .collect();
+    good.sort_by(|a, b| {
+        b.measurement.rsrp_dbm.partial_cmp(&a.measurement.rsrp_dbm).expect("finite")
+    });
+    good
+}
+
+/// The shared city-area candidate grid: nine "tourist spots" spread over a
+/// ~400 m study area centred at the origin (where the operator layouts
+/// place their sites). All operators in one city are measured at the same
+/// spots, exactly as the paper's methodology prescribes.
+pub fn standard_study_spots() -> Vec<Position> {
+    vec![
+        Position::new(0.0, 0.0),
+        Position::new(140.0, 20.0),
+        Position::new(-140.0, -20.0),
+        Position::new(60.0, 120.0),
+        Position::new(-60.0, -120.0),
+        Position::new(180.0, -70.0),
+        Position::new(-180.0, 60.0),
+        Position::new(90.0, -90.0),
+        Position::new(-90.0, 100.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_layout_yields_more_good_spots() {
+        let config = ChannelConfig::midband_urban(245);
+        let spots = standard_study_spots();
+        let dense = good_spots(&config, &DeploymentLayout::three_site_dense(), &spots);
+        let sparse = good_spots(&config, &DeploymentLayout::two_site_sparse(), &spots);
+        assert!(
+            dense.len() >= sparse.len(),
+            "dense {} vs sparse {}",
+            dense.len(),
+            sparse.len()
+        );
+        assert!(!dense.is_empty());
+    }
+
+    #[test]
+    fn reports_are_sorted_and_filtered() {
+        let config = ChannelConfig::midband_urban(245);
+        let spots = standard_study_spots();
+        let good = good_spots(&config, &DeploymentLayout::three_site_dense(), &spots);
+        for w in good.windows(2) {
+            assert!(w[0].measurement.rsrp_dbm >= w[1].measurement.rsrp_dbm);
+        }
+        for r in &good {
+            assert!(r.is_good());
+        }
+    }
+
+    #[test]
+    fn survey_covers_all_candidates() {
+        let config = ChannelConfig::midband_urban(245);
+        let spots = standard_study_spots();
+        let all = survey(&config, &DeploymentLayout::two_site_sparse(), &spots);
+        assert_eq!(all.len(), spots.len());
+        // Serving distance is the distance to the claimed serving site.
+        for r in &all {
+            assert!(r.serving_distance_m >= 0.0);
+        }
+    }
+}

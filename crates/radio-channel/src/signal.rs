@@ -1,0 +1,202 @@
+//! Signal-strength arithmetic: RSRP, RSSI, RSRQ and SINR.
+//!
+//! These are the quantities the paper's scouting methodology thresholds
+//! ("RSRP & RSRQ greater than −90 dBm and −12 dB" for good coverage, §2 ❶)
+//! and its Fig. 7 maps. Definitions follow TS 38.215:
+//!
+//! * RSRP — average power of one reference-signal resource element;
+//! * RSSI — total received power over the measurement bandwidth,
+//!   including serving signal, interference and noise;
+//! * RSRQ — `N · RSRP / RSSI` with N the number of RBs in the measurement
+//!   bandwidth;
+//! * SINR — serving RE power over interference + noise.
+
+use serde::{Deserialize, Serialize};
+
+/// Thermal noise density at 290 K, dBm/Hz.
+pub const THERMAL_NOISE_DBM_HZ: f64 = -174.0;
+
+/// Convert dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Convert milliwatts to dBm; −∞ guards map to a very small floor.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    10.0 * mw.max(1e-30).log10()
+}
+
+/// Static configuration of the measurement arithmetic for one carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalConfig {
+    /// Number of RBs in the carrier (sets the per-RE power split and the
+    /// RSRQ measurement bandwidth).
+    pub n_rb: u16,
+    /// Sub-carrier spacing in kHz (sets the noise bandwidth per RE).
+    pub scs_khz: u32,
+    /// UE noise figure in dB (typical handset: 7 dB).
+    pub noise_figure_db: f64,
+    /// Average fractional load of *other-cell* traffic, 0..=1. Enters the
+    /// RSSI (and thus RSRQ) and the inter-cell interference power.
+    pub neighbor_load: f64,
+    /// Average fractional load of the serving cell's own REs, 0..=1; enters
+    /// RSSI only (own-cell REs don't interfere post-equalisation).
+    pub serving_load: f64,
+    /// City-wide co-channel background interference per RE, dBm: the rest
+    /// of the operator's grid beyond the modelled study-area sites. Keeps
+    /// SIR bounded even next to an isolated site, as in any real city.
+    pub background_interference_dbm: f64,
+}
+
+impl SignalConfig {
+    /// A mid-band default: our own measurements saturate the serving link,
+    /// but RSSI is measured over all symbols of which roughly 70% carry
+    /// energy in a loaded cell; neighbours run at ~50% load.
+    pub fn midband(n_rb: u16) -> Self {
+        SignalConfig {
+            n_rb,
+            scs_khz: 30,
+            noise_figure_db: 7.0,
+            neighbor_load: 0.5,
+            serving_load: 0.7,
+            background_interference_dbm: -100.0,
+        }
+    }
+
+    /// Noise power per resource element, dBm.
+    pub fn noise_per_re_dbm(&self) -> f64 {
+        THERMAL_NOISE_DBM_HZ
+            + 10.0 * (self.scs_khz as f64 * 1e3).log10()
+            + self.noise_figure_db
+    }
+
+    /// Per-RE transmit power of a site whose total carrier power is
+    /// `tx_power_dbm`, assuming equal power over `n_rb · 12` sub-carriers.
+    pub fn tx_per_re_dbm(&self, tx_power_dbm: f64) -> f64 {
+        tx_power_dbm - 10.0 * (self.n_rb as f64 * 12.0).log10()
+    }
+}
+
+/// A complete signal measurement at one UE position/instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioMeasurement {
+    /// Reference-signal received power, dBm.
+    pub rsrp_dbm: f64,
+    /// Received signal strength indicator over the carrier, dBm.
+    pub rssi_dbm: f64,
+    /// Reference-signal received quality, dB.
+    pub rsrq_db: f64,
+    /// Post-combining signal-to-interference-plus-noise ratio, dB.
+    pub sinr_db: f64,
+}
+
+impl RadioMeasurement {
+    /// Compute the measurement from per-RE powers (all in dBm):
+    /// `serving_re_dbm` for the serving cell and `interferer_re_dbm` for
+    /// each neighbour, at the UE.
+    pub fn compute(
+        config: &SignalConfig,
+        serving_re_dbm: f64,
+        interferer_re_dbm: &[f64],
+    ) -> RadioMeasurement {
+        let s = dbm_to_mw(serving_re_dbm);
+        let i: f64 = interferer_re_dbm.iter().map(|&d| dbm_to_mw(d)).sum::<f64>()
+            * config.neighbor_load
+            + dbm_to_mw(config.background_interference_dbm);
+        let n = dbm_to_mw(config.noise_per_re_dbm());
+
+        let rsrp_dbm = serving_re_dbm;
+        // RSSI over one RB's 12 REs: serving load + neighbour load + noise.
+        let rssi_per_re = config.serving_load * s + i + n;
+        let rssi_dbm = mw_to_dbm(rssi_per_re * 12.0 * config.n_rb as f64);
+        // RSRQ = N · RSRP / RSSI.
+        let rsrq_db = 10.0 * (config.n_rb as f64 * s / (rssi_per_re * 12.0 * config.n_rb as f64))
+            .log10();
+        let sinr_db = 10.0 * (s / (i + n)).log10();
+        RadioMeasurement { rsrp_dbm, rssi_dbm, rsrq_db, sinr_db }
+    }
+
+    /// The paper's §2 scouting rule: RSRP > −90 dBm *and* RSRQ > −12 dB.
+    pub fn is_good_coverage(&self) -> bool {
+        self.rsrp_dbm > -90.0 && self.rsrq_db > -12.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test config with the background floor disabled, so the closed-form
+    /// expectations below stay exact.
+    fn cfg() -> SignalConfig {
+        SignalConfig { background_interference_dbm: -300.0, ..SignalConfig::midband(245) }
+    }
+
+    #[test]
+    fn noise_floor_value() {
+        // −174 + 10·log10(30e3) + 7 ≈ −122.2 dBm per RE.
+        assert!((cfg().noise_per_re_dbm() + 122.23).abs() < 0.05);
+    }
+
+    #[test]
+    fn tx_power_splits_over_subcarriers() {
+        // 44 dBm over 245·12 = 2940 REs → ≈ 9.3 dBm per RE.
+        let per_re = cfg().tx_per_re_dbm(44.0);
+        assert!((per_re - (44.0 - 34.68)).abs() < 0.05);
+    }
+
+    #[test]
+    fn interference_free_rsrq_floor() {
+        // With no interferers at 70% serving load, RSRQ → 1/(12·0.7)
+        // ≈ −9.2 dB at high SNR — matching the best values on the paper's
+        // Fig. 7 colour scale (−9 dB).
+        let m = RadioMeasurement::compute(&cfg(), -60.0, &[]);
+        assert!((m.rsrq_db + 9.24).abs() < 0.05, "rsrq {}", m.rsrq_db);
+        assert!(m.sinr_db > 40.0);
+    }
+
+    #[test]
+    fn interference_degrades_rsrq_and_sinr() {
+        let clean = RadioMeasurement::compute(&cfg(), -70.0, &[]);
+        let dirty = RadioMeasurement::compute(&cfg(), -70.0, &[-73.0]);
+        assert!(dirty.rsrq_db < clean.rsrq_db);
+        assert!(dirty.sinr_db < clean.sinr_db);
+        // Equal-power interferer at 50% load: SINR ≈ 10·log10(1/0.5) ≈ 3 dB
+        let equal = RadioMeasurement::compute(&cfg(), -70.0, &[-70.0]);
+        assert!((equal.sinr_db - 3.01).abs() < 0.1, "sinr {}", equal.sinr_db);
+    }
+
+    #[test]
+    fn weak_signal_sinr_is_noise_limited() {
+        // At RSRP −120 dBm (near the noise floor) SINR must be small even
+        // without interference.
+        let m = RadioMeasurement::compute(&cfg(), -120.0, &[]);
+        assert!(m.sinr_db < 5.0 && m.sinr_db > -5.0, "sinr {}", m.sinr_db);
+    }
+
+    #[test]
+    fn scouting_rule() {
+        let good = RadioMeasurement { rsrp_dbm: -80.0, rssi_dbm: 0.0, rsrq_db: -10.0, sinr_db: 20.0 };
+        let weak_rsrp = RadioMeasurement { rsrp_dbm: -95.0, ..good };
+        let weak_rsrq = RadioMeasurement { rsrq_db: -13.0, ..good };
+        assert!(good.is_good_coverage());
+        assert!(!weak_rsrp.is_good_coverage());
+        assert!(!weak_rsrq.is_good_coverage());
+    }
+
+    #[test]
+    fn background_floor_caps_sir() {
+        // With the default −100 dBm/RE city background, a −85 dBm serving
+        // signal cannot exceed ≈15 dB SINR even with no local interferers.
+        let m = RadioMeasurement::compute(&SignalConfig::midband(245), -85.0, &[]);
+        assert!(m.sinr_db < 16.0, "sinr {}", m.sinr_db);
+        assert!(m.sinr_db > 13.5, "sinr {}", m.sinr_db);
+    }
+
+    #[test]
+    fn dbm_mw_roundtrip() {
+        for dbm in [-120.0, -60.0, 0.0, 30.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+        }
+    }
+}

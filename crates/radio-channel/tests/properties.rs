@@ -1,0 +1,120 @@
+//! Property-based tests of the radio-environment invariants.
+
+use proptest::prelude::*;
+use radio_channel::channel::{ChannelConfig, ChannelSimulator};
+use radio_channel::geometry::{DeploymentLayout, GnbSite, Position};
+use radio_channel::link::{sinr_to_cqi, LinkModel, RankProfile};
+use radio_channel::mobility::MobilityModel;
+use radio_channel::pathloss::{uma_los_probability, PathLossModel, Scenario};
+use radio_channel::rng::SeedTree;
+use radio_channel::signal::{dbm_to_mw, mw_to_dbm, RadioMeasurement, SignalConfig};
+
+proptest! {
+    /// Path loss is monotone in distance and bounded by the LOS/NLOS
+    /// envelope for the blended scenario.
+    #[test]
+    fn pathloss_monotone_and_bounded(
+        d1 in 10.0f64..3000.0,
+        delta in 1.0f64..500.0,
+        fc in 0.7f64..40.0,
+    ) {
+        for scen in [Scenario::UmaLos, Scenario::UmaNlos, Scenario::UmaBlended, Scenario::UmiBlended] {
+            let m = PathLossModel::new(scen, fc);
+            prop_assert!(m.loss_db(d1 + delta) >= m.loss_db(d1) - 1e-9, "{:?}", scen);
+        }
+        let blend = PathLossModel::new(Scenario::UmaBlended, fc).loss_db(d1);
+        let los = PathLossModel::new(Scenario::UmaLos, fc).loss_db(d1);
+        let nlos = PathLossModel::new(Scenario::UmaNlos, fc).loss_db(d1);
+        prop_assert!(blend >= los - 1e-9 && blend <= nlos + 1e-9);
+    }
+
+    /// LOS probability is a proper probability, decreasing in distance.
+    #[test]
+    fn los_probability_valid(d in 1.0f64..5000.0) {
+        let p = uma_los_probability(d);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(uma_los_probability(d + 50.0) <= p + 1e-12);
+    }
+
+    /// dBm/mW conversions are inverse bijections over the physical range.
+    #[test]
+    fn dbm_mw_roundtrip(dbm in -180.0f64..60.0) {
+        prop_assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+    }
+
+    /// SINR and RSRQ degrade monotonically as interferers are added.
+    #[test]
+    fn interference_monotonicity(
+        serving in -110.0f64..-50.0,
+        interferers in prop::collection::vec(-120.0f64..-60.0, 0..6),
+    ) {
+        let cfg = SignalConfig::midband(245);
+        let mut prev = RadioMeasurement::compute(&cfg, serving, &[]);
+        for k in 1..=interferers.len() {
+            let m = RadioMeasurement::compute(&cfg, serving, &interferers[..k]);
+            prop_assert!(m.sinr_db <= prev.sinr_db + 1e-9);
+            prop_assert!(m.rsrq_db <= prev.rsrq_db + 1e-9);
+            prev = m;
+        }
+    }
+
+    /// CQI is monotone in SINR and rank transitions respect hysteresis for
+    /// arbitrary (ordered) thresholds.
+    #[test]
+    fn link_adaptation_monotone(
+        sinr_a in -15.0f64..40.0,
+        delta in 0.0f64..20.0,
+        r2 in 0.0f64..8.0,
+        gap3 in 1.0f64..8.0,
+        gap4 in 1.0f64..8.0,
+    ) {
+        use nr_phy::cqi::CqiTable;
+        prop_assert!(sinr_to_cqi(sinr_a + delta, CqiTable::Table2) >= sinr_to_cqi(sinr_a, CqiTable::Table2));
+        let profile = RankProfile { rank2_db: r2, rank3_db: r2 + gap3, rank4_db: r2 + gap3 + gap4, hysteresis_db: 1.0 };
+        for prev in 1..=4u8 {
+            let rank = profile.rank(sinr_a, prev);
+            prop_assert!((1..=4).contains(&rank));
+            // Higher SINR never reduces the chosen rank for the same state.
+            prop_assert!(profile.rank(sinr_a + delta, prev) >= rank);
+        }
+    }
+
+    /// The composed channel simulator produces finite outputs and keeps the
+    /// UE within its mobility bounds for random layouts and walks.
+    #[test]
+    fn channel_simulator_sane(
+        seed in 0u64..1000,
+        radius in 20.0f64..200.0,
+        site_x in -300.0f64..300.0,
+    ) {
+        let layout = DeploymentLayout::new(vec![
+            GnbSite::macro_site(1, Position::new(site_x, 0.0)),
+            GnbSite::macro_site(2, Position::new(-site_x, 50.0)),
+        ]);
+        let mut sim = ChannelSimulator::new(
+            ChannelConfig::midband_urban(245),
+            layout,
+            MobilityModel::walking(Position::ORIGIN, radius),
+            &SeedTree::new(seed),
+        );
+        for _ in 0..200 {
+            let st = sim.step();
+            prop_assert!(st.sinr_db.is_finite());
+            prop_assert!(st.measurement.rsrp_dbm.is_finite());
+            prop_assert!(st.measurement.rsrq_db < 0.0, "RSRQ is always negative in dB");
+            prop_assert!(st.position.distance_to(&Position::ORIGIN) <= radius + 1e-6);
+            prop_assert!(st.serving_site == 1 || st.serving_site == 2);
+        }
+    }
+
+    /// The link model's BLER is a valid probability, decreasing in SINR.
+    #[test]
+    fn bler_is_probability(sinr in -20.0f64..45.0, mcs in 0u8..28) {
+        use nr_phy::mcs::{McsIndex, McsTable};
+        let link = LinkModel::midband_qam256();
+        let b = link.bler(sinr, McsTable::Qam256, McsIndex(mcs));
+        prop_assert!((0.0..=1.0).contains(&b));
+        let better = link.bler(sinr + 3.0, McsTable::Qam256, McsIndex(mcs));
+        prop_assert!(better <= b + 1e-12);
+    }
+}

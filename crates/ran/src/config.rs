@@ -1,0 +1,174 @@
+//! Cell and simulation configuration types.
+//!
+//! A [`CellConfig`] captures everything the paper's Tables 2–3 record about
+//! one carrier — band, bandwidth/N_RB, SCS, duplexing/TDD pattern — plus
+//! the dynamic-behaviour knobs its §4 analysis dissects: maximum modulation
+//! (MCS table), the vendor CQI→MCS mapping, and the maximum MIMO rank.
+
+use nr_phy::band::{Band, DuplexMode};
+use nr_phy::bandwidth::{max_transmission_bandwidth, ChannelBandwidth};
+use nr_phy::cqi::{CqiTable, CqiToMcsPolicy};
+use nr_phy::mcs::McsTable;
+use nr_phy::numerology::Numerology;
+use nr_phy::tdd::{SpecialSlotConfig, TddPattern};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of one carrier (component carrier, in CA terms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// NR operating band.
+    pub band: Band,
+    /// Channel bandwidth.
+    pub bandwidth: ChannelBandwidth,
+    /// Numerology (SCS).
+    pub numerology: Numerology,
+    /// Maximum transmission bandwidth N_RB (derivable from bandwidth+SCS;
+    /// stored so a config is self-contained and printable like Table 2/3).
+    pub n_rb: u16,
+    /// TDD pattern; `None` for FDD carriers.
+    pub tdd: Option<TddPattern>,
+    /// The vendor CQI→MCS mapping (encodes the max-modulation cap: a
+    /// 64QAM-limited cell maps onto [`McsTable::Qam64`]).
+    pub mcs_policy: CqiToMcsPolicy,
+    /// Maximum DL MIMO layers the cell configures (≤ 4 in the study).
+    pub max_dl_layers: u8,
+    /// Maximum UL layers (commercial mid-band: 1–2).
+    pub max_ul_layers: u8,
+    /// Fraction of the carrier's RBs schedulable for our UE's UL (operators
+    /// often reserve UL RBs for control/other users even when one UE
+    /// saturates the DL).
+    pub ul_rb_fraction: f64,
+    /// MCS cap for UL transmissions (UL power budgets rarely sustain the
+    /// top indices; typical commercial caps land near index 22–26).
+    pub ul_max_mcs: u8,
+}
+
+impl CellConfig {
+    /// A mid-band TDD carrier with 256QAM, 4×4 MIMO and a `DDDSU` pattern —
+    /// the baseline the EU operator profiles specialise.
+    pub fn midband(bandwidth_mhz: u32, pattern: &str) -> Self {
+        let bandwidth = ChannelBandwidth::from_mhz(bandwidth_mhz);
+        let numerology = Numerology::Mu1;
+        let n_rb = max_transmission_bandwidth(bandwidth, numerology)
+            .expect("mid-band bandwidths are all defined at 30 kHz");
+        CellConfig {
+            band: Band::N78,
+            bandwidth,
+            numerology,
+            n_rb,
+            tdd: Some(
+                TddPattern::parse(pattern, SpecialSlotConfig::DL_HEAVY)
+                    .expect("caller passes a valid pattern"),
+            ),
+            mcs_policy: CqiToMcsPolicy::neutral(CqiTable::Table2),
+            max_dl_layers: 4,
+            max_ul_layers: 1,
+            ul_rb_fraction: 1.0,
+            ul_max_mcs: 24,
+        }
+    }
+
+    /// An FDD carrier (e.g. T-Mobile n25): DL and UL both always available.
+    pub fn fdd(band: Band, bandwidth_mhz: u32, numerology: Numerology) -> Self {
+        let bandwidth = ChannelBandwidth::from_mhz(bandwidth_mhz);
+        let n_rb = max_transmission_bandwidth(bandwidth, numerology)
+            .expect("FDD bandwidths defined for the chosen SCS");
+        CellConfig {
+            band,
+            bandwidth,
+            numerology,
+            n_rb,
+            tdd: None,
+            mcs_policy: CqiToMcsPolicy::neutral(CqiTable::Table2),
+            max_dl_layers: 4,
+            max_ul_layers: 1,
+            ul_rb_fraction: 1.0,
+            ul_max_mcs: 24,
+        }
+    }
+
+    /// Duplexing mode implied by the TDD field.
+    pub fn duplex_mode(&self) -> DuplexMode {
+        if self.tdd.is_some() {
+            DuplexMode::Tdd
+        } else {
+            DuplexMode::Fdd
+        }
+    }
+
+    /// The MCS table in force (encodes the operator's max modulation).
+    pub fn mcs_table(&self) -> McsTable {
+        self.mcs_policy.mcs_table
+    }
+
+    /// Slot duration in seconds.
+    pub fn slot_s(&self) -> f64 {
+        self.numerology.slot_duration_ms() * 1e-3
+    }
+
+    /// DL symbols available in a given slot (14 for FDD).
+    pub fn dl_symbols(&self, slot: u64) -> u8 {
+        match &self.tdd {
+            Some(p) => p.dl_symbols(slot),
+            None => nr_phy::tdd::SYMBOLS_PER_SLOT,
+        }
+    }
+
+    /// UL symbols available in a given slot (14 for FDD DL+UL pair).
+    pub fn ul_symbols(&self, slot: u64) -> u8 {
+        match &self.tdd {
+            Some(p) => p.ul_symbols(slot),
+            None => nr_phy::tdd::SYMBOLS_PER_SLOT,
+        }
+    }
+}
+
+/// How an NSA deployment routes uplink traffic between the 5G NR leg and
+/// the 4G LTE anchor (paper §4.2: "most operators … opt to combine both
+/// 5G NR and 4G LTE (and in some cases, use 4G LTE only) for UL").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UplinkRouting {
+    /// Always use the NR UL (SA-like behaviour).
+    NrOnly,
+    /// Always use the LTE anchor (T-Mobile's observed preference).
+    LteOnly,
+    /// Use NR while its reported CQI is at or above the threshold,
+    /// otherwise fall back to LTE — the dual-connectivity split most EU
+    /// operators exhibit.
+    NrAboveCqi {
+        /// Minimum NR CQI to stay on the NR leg.
+        threshold: u8,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midband_carrier_derives_nrb() {
+        let c = CellConfig::midband(90, "DDDSU");
+        assert_eq!(c.n_rb, 245);
+        assert_eq!(c.duplex_mode(), DuplexMode::Tdd);
+        assert_eq!(c.slot_s(), 0.5e-3);
+    }
+
+    #[test]
+    fn fdd_carrier_always_has_both_directions() {
+        let c = CellConfig::fdd(Band::N25, 20, Numerology::Mu0);
+        assert_eq!(c.n_rb, 106);
+        for slot in 0..20 {
+            assert_eq!(c.dl_symbols(slot), 14);
+            assert_eq!(c.ul_symbols(slot), 14);
+        }
+    }
+
+    #[test]
+    fn tdd_carrier_follows_pattern() {
+        let c = CellConfig::midband(80, "DDDSU");
+        assert_eq!(c.dl_symbols(0), 14);
+        assert_eq!(c.ul_symbols(0), 0);
+        assert_eq!(c.ul_symbols(4), 14);
+        assert_eq!(c.dl_symbols(3), 10); // special slot, DL_HEAVY split
+    }
+}

@@ -1,0 +1,476 @@
+//! Slot-level KPI records — the simulator's XCAL equivalent.
+//!
+//! The paper collects "detailed 5G lower-layer information at the
+//! slot-level (the finest time scale possible)". [`SlotKpi`] carries the
+//! same fields its analysis dissects: throughput (TBS delivered), MCS,
+//! modulation, MIMO layers, RB/RE allocation, CQI, BLER events and signal
+//! measurements. [`KpiTrace`] aggregates them into the time series the
+//! `analysis` crate resamples.
+
+use nr_phy::mcs::Modulation;
+use serde::{Deserialize, Serialize};
+
+/// Link direction of a KPI record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Downlink.
+    Dl,
+    /// Uplink.
+    Ul,
+}
+
+/// One slot's record for one carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotKpi {
+    /// Global slot index (at the carrier's numerology).
+    pub slot: u64,
+    /// Wall-clock time of the slot start, seconds.
+    pub time_s: f64,
+    /// Carrier index within the aggregate (0 = PCell).
+    pub carrier: u8,
+    /// Direction this record describes.
+    pub direction: Direction,
+    /// Whether the slot carried a grant for our UE in this direction.
+    pub scheduled: bool,
+    /// PRBs allocated (0 when unscheduled).
+    pub n_prb: u16,
+    /// Data REs allocated (the paper's Fig. 3 quantity).
+    pub n_re: u32,
+    /// MCS index (table per the carrier config).
+    pub mcs: u8,
+    /// Modulation order in force.
+    pub modulation: Modulation,
+    /// MIMO layers used.
+    pub layers: u8,
+    /// Transport block size of the grant, bits.
+    pub tbs_bits: u32,
+    /// Bits credited as *delivered* this slot (TBS on decode success for
+    /// new data or on a successful retransmission; 0 otherwise).
+    pub delivered_bits: u32,
+    /// Whether this grant was a HARQ retransmission.
+    pub is_retx: bool,
+    /// Whether the transport block failed to decode (a BLER event).
+    pub block_error: bool,
+    /// CQI in force at the gNB when scheduling the slot.
+    pub cqi: u8,
+    /// Instantaneous post-equalisation SINR, dB.
+    pub sinr_db: f64,
+    /// RSRP, dBm.
+    pub rsrp_dbm: f64,
+    /// RSRQ, dB.
+    pub rsrq_db: f64,
+    /// Serving site id.
+    pub serving_site: u32,
+}
+
+impl SlotKpi {
+    /// An unscheduled (idle) slot record.
+    #[allow(clippy::too_many_arguments)] // mirrors the record's field set
+    pub fn idle(
+        slot: u64,
+        time_s: f64,
+        carrier: u8,
+        direction: Direction,
+        cqi: u8,
+        sinr_db: f64,
+        rsrp_dbm: f64,
+        rsrq_db: f64,
+        serving_site: u32,
+    ) -> Self {
+        SlotKpi {
+            slot,
+            time_s,
+            carrier,
+            direction,
+            scheduled: false,
+            n_prb: 0,
+            n_re: 0,
+            mcs: 0,
+            modulation: Modulation::Qpsk,
+            layers: 0,
+            tbs_bits: 0,
+            delivered_bits: 0,
+            is_retx: false,
+            block_error: false,
+            cqi,
+            sinr_db,
+            rsrp_dbm,
+            rsrq_db,
+            serving_site,
+        }
+    }
+}
+
+/// A full slot-level trace with aggregation helpers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KpiTrace {
+    /// The records, in slot order (possibly interleaved across carriers).
+    pub records: Vec<SlotKpi>,
+}
+
+impl KpiTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        KpiTrace { records: Vec::new() }
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, kpi: SlotKpi) {
+        self.records.push(kpi);
+    }
+
+    /// Records of one direction.
+    pub fn direction(&self, direction: Direction) -> impl Iterator<Item = &SlotKpi> {
+        self.records.iter().filter(move |r| r.direction == direction)
+    }
+
+    /// Total simulated duration, seconds (from the last record's time).
+    pub fn duration_s(&self) -> f64 {
+        self.records.last().map(|r| r.time_s).unwrap_or(0.0)
+    }
+
+    /// Mean goodput in Mbps over the trace for a direction (delivered bits
+    /// over wall-clock duration — the iPerf-style number of Figs. 1/9/10).
+    pub fn mean_throughput_mbps(&self, direction: Direction) -> f64 {
+        let dur = self.duration_s();
+        if dur <= 0.0 {
+            return 0.0;
+        }
+        let bits: u64 =
+            self.direction(direction).map(|r| r.delivered_bits as u64).sum();
+        bits as f64 / dur / 1e6
+    }
+
+    /// Throughput time series in Mbps, binned at `bin_s` seconds, for a
+    /// direction. Bins cover `[0, duration)`; empty bins yield 0.
+    pub fn throughput_series_mbps(&self, direction: Direction, bin_s: f64) -> Vec<f64> {
+        let dur = self.duration_s();
+        if dur <= 0.0 || bin_s <= 0.0 {
+            return Vec::new();
+        }
+        let n_bins = (dur / bin_s).ceil() as usize;
+        let mut bits = vec![0u64; n_bins.max(1)];
+        for r in self.direction(direction) {
+            let b = ((r.time_s / bin_s) as usize).min(n_bins.saturating_sub(1));
+            bits[b] += r.delivered_bits as u64;
+        }
+        bits.into_iter().map(|b| b as f64 / bin_s / 1e6).collect()
+    }
+
+    /// Mean goodput over only the time bins whose mean CQI satisfies
+    /// `cqi_at_least` — the paper's "good channel conditions (CQI ≥ 12)"
+    /// conditioning of Figs. 2, 9 and 10. Bins of `bin_s` seconds are
+    /// classified by their mean CQI; the returned value is total delivered
+    /// bits in qualifying bins over their total duration. `None` when no
+    /// bin qualifies.
+    pub fn mean_throughput_mbps_where_cqi(
+        &self,
+        direction: Direction,
+        bin_s: f64,
+        cqi_at_least: u8,
+    ) -> Option<f64> {
+        let dur = self.duration_s();
+        if dur <= 0.0 || bin_s <= 0.0 {
+            return None;
+        }
+        let n_bins = (dur / bin_s).ceil() as usize;
+        let mut bits = vec![0u64; n_bins];
+        let mut cqi_sum = vec![0f64; n_bins];
+        let mut cqi_n = vec![0u64; n_bins];
+        for r in &self.records {
+            let b = ((r.time_s / bin_s) as usize).min(n_bins - 1);
+            cqi_sum[b] += r.cqi as f64;
+            cqi_n[b] += 1;
+            if r.direction == direction {
+                bits[b] += r.delivered_bits as u64;
+            }
+        }
+        let mut total_bits = 0u64;
+        let mut total_time = 0.0;
+        for b in 0..n_bins {
+            if cqi_n[b] == 0 {
+                continue;
+            }
+            if cqi_sum[b] / (cqi_n[b] as f64) >= f64::from(cqi_at_least) {
+                total_bits += bits[b];
+                total_time += bin_s;
+            }
+        }
+        if total_time > 0.0 {
+            Some(total_bits as f64 / total_time / 1e6)
+        } else {
+            None
+        }
+    }
+
+    /// Like [`Self::mean_throughput_mbps_where_cqi`] but keeping bins whose
+    /// mean CQI is *below* the threshold (Fig. 10's CQI < 10 panel).
+    pub fn mean_throughput_mbps_where_cqi_below(
+        &self,
+        direction: Direction,
+        bin_s: f64,
+        cqi_below: u8,
+    ) -> Option<f64> {
+        let dur = self.duration_s();
+        if dur <= 0.0 || bin_s <= 0.0 {
+            return None;
+        }
+        let n_bins = (dur / bin_s).ceil() as usize;
+        let mut bits = vec![0u64; n_bins];
+        let mut cqi_sum = vec![0f64; n_bins];
+        let mut cqi_n = vec![0u64; n_bins];
+        for r in &self.records {
+            let b = ((r.time_s / bin_s) as usize).min(n_bins - 1);
+            cqi_sum[b] += r.cqi as f64;
+            cqi_n[b] += 1;
+            if r.direction == direction {
+                bits[b] += r.delivered_bits as u64;
+            }
+        }
+        let mut total_bits = 0u64;
+        let mut total_time = 0.0;
+        for b in 0..n_bins {
+            if cqi_n[b] == 0 {
+                continue;
+            }
+            if cqi_sum[b] / (cqi_n[b] as f64) < f64::from(cqi_below) {
+                total_bits += bits[b];
+                total_time += bin_s;
+            }
+        }
+        if total_time > 0.0 {
+            Some(total_bits as f64 / total_time / 1e6)
+        } else {
+            None
+        }
+    }
+
+    /// Per-scheduled-slot series of an arbitrary field, with timestamps.
+    pub fn scheduled_series<F: Fn(&SlotKpi) -> f64>(
+        &self,
+        direction: Direction,
+        f: F,
+    ) -> Vec<(f64, f64)> {
+        self.direction(direction)
+            .filter(|r| r.scheduled)
+            .map(|r| (r.time_s, f(r)))
+            .collect()
+    }
+
+    /// Fraction of scheduled slots using each modulation order (the paper's
+    /// Fig. 5), as `(modulation, fraction)` over DL grants.
+    pub fn modulation_shares(&self) -> Vec<(Modulation, f64)> {
+        let grants: Vec<&SlotKpi> = self
+            .direction(Direction::Dl)
+            .filter(|r| r.scheduled && !r.is_retx)
+            .collect();
+        if grants.is_empty() {
+            return Vec::new();
+        }
+        let mut counts = std::collections::BTreeMap::new();
+        for g in &grants {
+            *counts.entry(g.modulation).or_insert(0usize) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(m, c)| (m, c as f64 / grants.len() as f64))
+            .collect()
+    }
+
+    /// Fraction of scheduled DL slots using each MIMO layer count (the
+    /// paper's Fig. 6), indexed `[unused, 1, 2, 3, 4]`.
+    pub fn layer_shares(&self) -> [f64; 5] {
+        let mut counts = [0usize; 5];
+        let mut total = 0usize;
+        for r in self.direction(Direction::Dl) {
+            if r.scheduled {
+                counts[(r.layers as usize).min(4)] += 1;
+                total += 1;
+            }
+        }
+        let mut shares = [0.0; 5];
+        if total > 0 {
+            for (i, c) in counts.iter().enumerate() {
+                shares[i] = *c as f64 / total as f64;
+            }
+        }
+        shares
+    }
+
+    /// Block-error rate over scheduled DL slots.
+    pub fn dl_bler(&self) -> f64 {
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for r in self.direction(Direction::Dl) {
+            if r.scheduled {
+                total += 1;
+                if r.block_error {
+                    errors += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            errors as f64 / total as f64
+        }
+    }
+
+    /// All RE allocations of scheduled DL slots (Fig. 3's CDF input).
+    pub fn dl_re_allocations(&self) -> Vec<u32> {
+        self.direction(Direction::Dl).filter(|r| r.scheduled).map(|r| r.n_re).collect()
+    }
+
+    /// Maximum PRBs allocated in any scheduled DL slot (Fig. 4).
+    pub fn max_dl_prb(&self) -> u16 {
+        self.direction(Direction::Dl).map(|r| r.n_prb).max().unwrap_or(0)
+    }
+
+    /// Mean CQI over all records.
+    pub fn mean_cqi(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.cqi as f64).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Restrict to records with CQI at or above a threshold — the paper's
+    /// "good channel conditions (CQI ≥ 12)" filter of Figs. 2/9/10.
+    pub fn filter_cqi_at_least(&self, threshold: u8) -> KpiTrace {
+        KpiTrace {
+            records: self.records.iter().copied().filter(|r| r.cqi >= threshold).collect(),
+        }
+    }
+
+    /// Restrict to records with CQI strictly below a threshold (Fig. 10's
+    /// CQI < 10 panel).
+    pub fn filter_cqi_below(&self, threshold: u8) -> KpiTrace {
+        KpiTrace {
+            records: self.records.iter().copied().filter(|r| r.cqi < threshold).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(slot: u64, time_s: f64, bits: u32, layers: u8, modulation: Modulation) -> SlotKpi {
+        SlotKpi {
+            slot,
+            time_s,
+            carrier: 0,
+            direction: Direction::Dl,
+            scheduled: true,
+            n_prb: 245,
+            n_re: 245 * 144,
+            mcs: 20,
+            modulation,
+            layers,
+            tbs_bits: bits,
+            delivered_bits: bits,
+            is_retx: false,
+            block_error: false,
+            cqi: 13,
+            sinr_db: 22.0,
+            rsrp_dbm: -80.0,
+            rsrq_db: -10.0,
+            serving_site: 1,
+        }
+    }
+
+    #[test]
+    fn mean_throughput_accounts_delivered_bits_only() {
+        let mut t = KpiTrace::new();
+        let mut g = grant(0, 0.0005, 500_000, 4, Modulation::Qam256);
+        t.push(g);
+        g.slot = 1;
+        g.time_s = 0.001;
+        g.block_error = true;
+        g.delivered_bits = 0;
+        t.push(g);
+        // 500 kbit over 1 ms → 500 Mbps.
+        assert!((t.mean_throughput_mbps(Direction::Dl) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_binning() {
+        let mut t = KpiTrace::new();
+        for i in 0..100u64 {
+            t.push(grant(i, (i as f64 + 1.0) * 0.0005, 100_000, 4, Modulation::Qam64));
+        }
+        let series = t.throughput_series_mbps(Direction::Dl, 0.01);
+        assert_eq!(series.len(), 5);
+        // 20 slots/bin · 100 kbit / 10 ms = 200 Mbps, modulo the one-slot
+        // boundary shift from timestamps marking slot *ends*.
+        for v in &series {
+            assert!((v - 200.0).abs() <= 10.0 + 1e-9, "{v}");
+        }
+        // Conservation: binned bits equal total bits.
+        let total_mbit: f64 = series.iter().map(|v| v * 0.01).sum();
+        assert!((total_mbit - 10.0).abs() < 1e-9, "{total_mbit}");
+    }
+
+    #[test]
+    fn shares_and_filters() {
+        let mut t = KpiTrace::new();
+        t.push(grant(0, 0.0005, 1000, 4, Modulation::Qam256));
+        t.push(grant(1, 0.0010, 1000, 4, Modulation::Qam64));
+        t.push(grant(2, 0.0015, 1000, 3, Modulation::Qam64));
+        let mut low_cqi = grant(3, 0.0020, 1000, 2, Modulation::Qam16);
+        low_cqi.cqi = 7;
+        t.push(low_cqi);
+
+        let shares = t.modulation_shares();
+        let q64 = shares.iter().find(|(m, _)| *m == Modulation::Qam64).unwrap().1;
+        assert!((q64 - 0.5).abs() < 1e-9);
+
+        let layers = t.layer_shares();
+        assert!((layers[4] - 0.5).abs() < 1e-9);
+        assert!((layers[3] - 0.25).abs() < 1e-9);
+
+        let good = t.filter_cqi_at_least(12);
+        assert_eq!(good.records.len(), 3);
+        let bad = t.filter_cqi_below(10);
+        assert_eq!(bad.records.len(), 1);
+    }
+
+    #[test]
+    fn cqi_conditioned_throughput() {
+        // Two 100 ms phases: good CQI (13) delivering 100 kbit/slot, then
+        // poor CQI (6) delivering 20 kbit/slot.
+        let mut t = KpiTrace::new();
+        for i in 0..400u64 {
+            let good = i < 200;
+            let mut g = grant(
+                i,
+                (i as f64 + 1.0) * 0.0005,
+                if good { 100_000 } else { 20_000 },
+                4,
+                Modulation::Qam64,
+            );
+            g.cqi = if good { 13 } else { 6 };
+            t.push(g);
+        }
+        // Unconditioned mean: (200·100k + 200·20k) / 0.2 s = 120 Mbps.
+        assert!((t.mean_throughput_mbps(Direction::Dl) - 120.0).abs() < 1.0);
+        // CQI ≥ 12 bins: 100 kbit / 0.5 ms = 200 Mbps.
+        let good = t.mean_throughput_mbps_where_cqi(Direction::Dl, 0.01, 12).unwrap();
+        assert!((good - 200.0).abs() < 10.0, "good {good}");
+        // CQI < 10 bins: 40 Mbps.
+        let poor = t.mean_throughput_mbps_where_cqi_below(Direction::Dl, 0.01, 10).unwrap();
+        assert!((poor - 40.0).abs() < 5.0, "poor {poor}");
+        // A threshold nothing meets returns None.
+        assert!(t.mean_throughput_mbps_where_cqi(Direction::Dl, 0.01, 15).is_none());
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let t = KpiTrace::new();
+        assert_eq!(t.mean_throughput_mbps(Direction::Dl), 0.0);
+        assert!(t.throughput_series_mbps(Direction::Dl, 0.1).is_empty());
+        assert!(t.modulation_shares().is_empty());
+        assert_eq!(t.dl_bler(), 0.0);
+        assert_eq!(t.max_dl_prb(), 0);
+    }
+}

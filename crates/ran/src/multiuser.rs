@@ -1,0 +1,217 @@
+//! Several UEs sharing one cell — the paper's §5.2 / Fig. 14 experiments.
+//!
+//! The study placed UEs at different distances in the same cell and ran
+//! iPerf *sequentially* (one at a time) and *simultaneously*, finding that
+//! per-UE RB allocations (and hence throughput) roughly halve with two
+//! active users while the channel variability at each location is
+//! unaffected. [`MultiUeSim`] reproduces that by driving N per-UE carriers
+//! against one shared RB budget.
+
+use crate::carrier::{Carrier, TrafficPattern};
+use crate::kpi::KpiTrace;
+use crate::scheduler::SchedulerPolicy;
+use radio_channel::geometry::Position;
+
+/// One participant of a multi-UE experiment: a carrier (with its own
+/// channel at its own position) plus its fixed location.
+pub struct MultiUeParticipant {
+    /// The per-UE carrier instance (same cell config across participants).
+    pub carrier: Carrier,
+    /// The UE's (stationary) position.
+    pub position: Position,
+    /// Whether this UE has active traffic (sequential runs activate one).
+    pub active: bool,
+}
+
+/// N UEs sharing one cell's RBs.
+pub struct MultiUeSim {
+    participants: Vec<MultiUeParticipant>,
+    policy: SchedulerPolicy,
+    /// Long-term average rate per UE (for proportional fair), bits/slot.
+    avg_rate: Vec<f64>,
+    rr_next: usize,
+    slot: u64,
+}
+
+impl MultiUeSim {
+    /// Assemble the shared-cell simulation.
+    pub fn new(participants: Vec<MultiUeParticipant>, policy: SchedulerPolicy) -> Self {
+        assert!(!participants.is_empty(), "need at least one UE");
+        let n = participants.len();
+        MultiUeSim { participants, policy, avg_rate: vec![1.0; n], rr_next: 0, slot: 0 }
+    }
+
+    /// Run for `slots` and return one trace per participant.
+    pub fn run(&mut self, slots: u64) -> Vec<KpiTrace> {
+        let mut traces: Vec<KpiTrace> = (0..self.participants.len()).map(|_| KpiTrace::new()).collect();
+        for _ in 0..slots {
+            self.step_into(&mut traces);
+        }
+        traces
+    }
+
+    /// One shared slot.
+    fn step_into(&mut self, traces: &mut [KpiTrace]) {
+        self.slot += 1;
+        let active: Vec<usize> = self
+            .participants
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.active)
+            .map(|(i, _)| i)
+            .collect();
+
+        // Decide each active UE's share of the slot's RBs.
+        let mut shares = vec![0.0f64; self.participants.len()];
+        match self.policy {
+            SchedulerPolicy::EqualShare => {
+                for &i in &active {
+                    shares[i] = 1.0 / active.len().max(1) as f64;
+                }
+            }
+            SchedulerPolicy::RoundRobinSlots => {
+                if !active.is_empty() {
+                    let pick = active[self.rr_next % active.len()];
+                    self.rr_next += 1;
+                    shares[pick] = 1.0;
+                }
+            }
+            SchedulerPolicy::ProportionalFair => {
+                // Metric: instantaneous CQI-implied rate over average rate.
+                let best = active.iter().copied().max_by(|&a, &b| {
+                    let ma = self.participants[a].carrier.current_cqi() as f64
+                        / self.avg_rate[a].max(1e-9);
+                    let mb = self.participants[b].carrier.current_cqi() as f64
+                        / self.avg_rate[b].max(1e-9);
+                    ma.partial_cmp(&mb).expect("metrics are finite")
+                });
+                if let Some(pick) = best {
+                    shares[pick] = 1.0;
+                }
+            }
+        }
+
+        for (i, p) in self.participants.iter_mut().enumerate() {
+            let share = shares[i];
+            let traffic = if p.active && share > 0.0 {
+                TrafficPattern::DL
+            } else {
+                TrafficPattern { dl: false, ul: false }
+            };
+            let out = p.carrier.step(p.position, 0.0, traffic, false, share.max(1e-6), 1.0);
+            // PF average-rate bookkeeping (EWMA over delivered bits).
+            self.avg_rate[i] = 0.999 * self.avg_rate[i] + 0.001 * out.dl.delivered_bits as f64;
+            traces[i].push(out.dl);
+            if let Some(ul) = out.ul {
+                traces[i].push(ul);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CellConfig;
+    use crate::kpi::Direction;
+    use radio_channel::channel::{ChannelConfig, ChannelSimulator};
+    use radio_channel::geometry::DeploymentLayout;
+    use radio_channel::link::LinkModel;
+    use radio_channel::mobility::MobilityModel;
+    use radio_channel::rng::SeedTree;
+
+    fn participant(distance: f64, seed: u64, index: u64, active: bool) -> MultiUeParticipant {
+        let cfg = CellConfig::midband(60, "DDDSU");
+        let pos = Position::new(distance, 0.0);
+        let seeds = SeedTree::new(seed).child_indexed("ue", index);
+        let channel = ChannelSimulator::new(
+            ChannelConfig::midband_urban(cfg.n_rb),
+            DeploymentLayout::single_site(),
+            MobilityModel::Stationary { position: pos },
+            &seeds,
+        );
+        MultiUeParticipant {
+            carrier: Carrier::new(cfg, 0, channel, LinkModel::midband_qam256(), &seeds),
+            position: pos,
+            active,
+        }
+    }
+
+    /// The Fig. 14 experiment: simultaneous activity halves per-UE RBs and
+    /// roughly halves throughput, while sequential runs get the full cell.
+    #[test]
+    fn simultaneous_users_split_rbs_and_throughput() {
+        let sequential = {
+            let mut sim = MultiUeSim::new(
+                vec![participant(45.0, 1, 0, true), participant(117.0, 1, 1, false)],
+                SchedulerPolicy::EqualShare,
+            );
+            let traces = sim.run(20_000);
+            traces[0].mean_throughput_mbps(Direction::Dl)
+        };
+        let (simultaneous, rb_a, rb_b) = {
+            let mut sim = MultiUeSim::new(
+                vec![participant(45.0, 1, 0, true), participant(117.0, 1, 1, true)],
+                SchedulerPolicy::EqualShare,
+            );
+            let traces = sim.run(20_000);
+            let mean_rb = |t: &KpiTrace| {
+                let sched: Vec<u16> = t
+                    .direction(Direction::Dl)
+                    .filter(|r| r.scheduled)
+                    .map(|r| r.n_prb)
+                    .collect();
+                sched.iter().map(|&x| x as f64).sum::<f64>() / sched.len() as f64
+            };
+            (
+                traces[0].mean_throughput_mbps(Direction::Dl),
+                mean_rb(&traces[0]),
+                mean_rb(&traces[1]),
+            )
+        };
+        assert!(
+            simultaneous < sequential * 0.65,
+            "simultaneous {simultaneous} vs sequential {sequential}"
+        );
+        // Both UEs end up near half the 162 RBs of a 60 MHz carrier.
+        assert!((rb_a - 81.0).abs() < 3.0, "rb_a {rb_a}");
+        assert!((rb_b - 81.0).abs() < 3.0, "rb_b {rb_b}");
+    }
+
+    #[test]
+    fn round_robin_alternates_full_slots() {
+        let mut sim = MultiUeSim::new(
+            vec![participant(50.0, 2, 0, true), participant(90.0, 2, 1, true)],
+            SchedulerPolicy::RoundRobinSlots,
+        );
+        let traces = sim.run(4000);
+        for t in &traces {
+            let scheduled: Vec<u16> = t
+                .direction(Direction::Dl)
+                .filter(|r| r.scheduled)
+                .map(|r| r.n_prb)
+                .collect();
+            assert!(!scheduled.is_empty());
+            // Whole-carrier grants only.
+            assert!(scheduled.iter().all(|&n| n == 162));
+        }
+        let a = traces[0].direction(Direction::Dl).filter(|r| r.scheduled).count();
+        let b = traces[1].direction(Direction::Dl).filter(|r| r.scheduled).count();
+        assert!((a as i64 - b as i64).abs() <= 1, "fair rotation: {a} vs {b}");
+    }
+
+    #[test]
+    fn proportional_fair_serves_everyone() {
+        let mut sim = MultiUeSim::new(
+            vec![participant(40.0, 3, 0, true), participant(200.0, 3, 1, true)],
+            SchedulerPolicy::ProportionalFair,
+        );
+        let traces = sim.run(20_000);
+        let near = traces[0].mean_throughput_mbps(Direction::Dl);
+        let far = traces[1].mean_throughput_mbps(Direction::Dl);
+        assert!(near > 0.0 && far > 0.0, "near {near} far {far}");
+        // PF favours the better channel but must not starve the far UE.
+        assert!(near > far);
+        assert!(far > near * 0.1);
+    }
+}

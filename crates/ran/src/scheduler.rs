@@ -1,0 +1,123 @@
+//! RB allocation per slot.
+//!
+//! The paper observes (§4.1, Fig. 4) that during saturating transfers every
+//! operator allocates close to the maximum RBs to the measuring UE — so the
+//! single-UE scheduler is a full-allocation scheduler. Overheads are where
+//! real deployments differ from naive accounting: 1 PDCCH symbol, 2-symbol
+//! DM-RS (24 REs) and ~1 symbol's worth of CSI-RS/TRS overhead per PRB.
+//! With several UEs ([`crate::multiuser`]) the frequency domain is split
+//! per the configured policy, which is how Fig. 14's "RBs halve with two
+//! active users" arises.
+
+use crate::config::CellConfig;
+use nr_phy::resource::RbAllocation;
+use serde::{Deserialize, Serialize};
+
+/// DM-RS REs per PRB for the 2-symbol type-A mapping used at rank 3–4.
+pub const DMRS_RE_PER_PRB: u16 = 24;
+
+/// Other overhead REs per PRB (CSI-RS, TRS, PT-RS budget).
+pub const OVERHEAD_RE_PER_PRB: u16 = 12;
+
+/// PDCCH control symbols at the head of a DL slot.
+pub const PDCCH_SYMBOLS: u8 = 1;
+
+/// How a cell splits RBs among active UEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Equal instantaneous share of PRBs every slot (frequency-domain
+    /// round-robin; what Fig. 14's RB counts show).
+    EqualShare,
+    /// Time-domain round-robin: one UE owns the whole slot, rotating.
+    RoundRobinSlots,
+    /// Proportional fair: slot goes to the UE maximising instantaneous
+    /// rate / long-term average rate.
+    ProportionalFair,
+}
+
+/// DL allocation for a UE holding `share` (0..=1] of the carrier in this
+/// slot; `None` when the slot carries no DL symbols.
+pub fn dl_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAllocation> {
+    let symbols = cfg.dl_symbols(slot);
+    if symbols == 0 {
+        return None;
+    }
+    let n_prb = ((cfg.n_rb as f64 * share).round() as u16).clamp(1, cfg.n_rb);
+    Some(RbAllocation {
+        n_prb,
+        n_symbols: symbols.saturating_sub(PDCCH_SYMBOLS),
+        dmrs_re_per_prb: DMRS_RE_PER_PRB,
+        overhead_re_per_prb: OVERHEAD_RE_PER_PRB,
+    })
+}
+
+/// UL allocation for a UE holding `share` of the carrier's UL RBs this
+/// slot; `None` when the slot carries no UL symbols. The cell-level
+/// `ul_rb_fraction` (operators reserving UL RBs) is applied on top.
+pub fn ul_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAllocation> {
+    let symbols = cfg.ul_symbols(slot);
+    if symbols == 0 {
+        return None;
+    }
+    let frac = (cfg.ul_rb_fraction * share).clamp(0.0, 1.0);
+    let n_prb = ((cfg.n_rb as f64 * frac).round() as u16).clamp(1, cfg.n_rb);
+    Some(RbAllocation {
+        n_prb,
+        n_symbols: symbols, // no PDCCH inside UL symbols
+        dmrs_re_per_prb: 12,
+        overhead_re_per_prb: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> CellConfig {
+        CellConfig::midband(90, "DDDSU")
+    }
+
+    #[test]
+    fn full_share_allocates_all_rbs() {
+        let a = dl_allocation(&cell(), 0, 1.0).unwrap();
+        assert_eq!(a.n_prb, 245);
+        assert_eq!(a.n_symbols, 13);
+        // 12·13 − 24 − 12 = 120 data REs per PRB.
+        assert_eq!(a.re_per_prb(), 120);
+    }
+
+    #[test]
+    fn half_share_halves_prbs() {
+        let a = dl_allocation(&cell(), 0, 0.5).unwrap();
+        assert_eq!(a.n_prb, 123); // round(245/2)
+    }
+
+    #[test]
+    fn ul_slot_has_no_dl_allocation() {
+        assert!(dl_allocation(&cell(), 4, 1.0).is_none());
+        assert!(ul_allocation(&cell(), 4, 1.0).is_some());
+        assert!(ul_allocation(&cell(), 0, 1.0).is_none());
+    }
+
+    #[test]
+    fn special_slot_shrinks_symbols() {
+        let a = dl_allocation(&cell(), 3, 1.0).unwrap();
+        assert_eq!(a.n_symbols, 9); // 10 DL symbols − 1 PDCCH
+        let u = ul_allocation(&cell(), 3, 1.0).unwrap();
+        assert_eq!(u.n_symbols, 2);
+    }
+
+    #[test]
+    fn ul_rb_fraction_applies() {
+        let mut c = cell();
+        c.ul_rb_fraction = 0.4;
+        let a = ul_allocation(&c, 4, 1.0).unwrap();
+        assert_eq!(a.n_prb, 98); // round(245·0.4)
+    }
+
+    #[test]
+    fn allocation_never_zero_prbs() {
+        let a = dl_allocation(&cell(), 0, 0.0001).unwrap();
+        assert_eq!(a.n_prb, 1);
+    }
+}

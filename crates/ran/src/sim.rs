@@ -1,0 +1,306 @@
+//! The per-UE simulator: mobility + component carriers + NSA uplink
+//! routing, emitting one merged KPI trace.
+//!
+//! [`UeSim`] advances a single clock at the finest slot duration among its
+//! carriers; carriers with slower numerologies (T-Mobile's 15 kHz n25 FDD
+//! legs, with 1 ms slots against n41's 0.5 ms) step every 2^k ticks. This
+//! is how the paper's Table 3 mixed-numerology CA combos (Appendix 10.5)
+//! are simulated without fractional-slot bookkeeping.
+
+use crate::carrier::{Carrier, TrafficPattern};
+use crate::config::UplinkRouting;
+use crate::kpi::KpiTrace;
+use crate::lte::LteAnchor;
+use radio_channel::mobility::{MobilityModel, MobilityState};
+use radio_channel::rng::SeedTree;
+
+/// Configuration of a UE-level simulation run.
+#[derive(Debug, Clone)]
+pub struct UeSimConfig {
+    /// Saturating traffic directions.
+    pub traffic: TrafficPattern,
+    /// NSA uplink routing policy.
+    pub routing: UplinkRouting,
+}
+
+impl Default for UeSimConfig {
+    fn default() -> Self {
+        UeSimConfig {
+            traffic: TrafficPattern::BOTH,
+            routing: UplinkRouting::NrAboveCqi { threshold: 6 },
+        }
+    }
+}
+
+/// A complete single-UE simulation: mobility, NR carriers (PCell +
+/// optional SCells), optional LTE anchor.
+pub struct UeSim {
+    mobility: MobilityState,
+    carriers: Vec<Carrier>,
+    /// Tick divider per carrier: the carrier steps when
+    /// `tick % divider == 0`.
+    dividers: Vec<u64>,
+    /// Metres moved since each carrier's last step.
+    pending_move: Vec<f64>,
+    lte: Option<LteAnchor>,
+    lte_divider: u64,
+    lte_pending_move: f64,
+    config: UeSimConfig,
+    base_slot_s: f64,
+    tick: u64,
+}
+
+impl UeSim {
+    /// Assemble a simulation. Carrier 0 is the PCell (it carries the UL
+    /// leg and its CQI drives the NSA routing decision).
+    pub fn new(
+        carriers: Vec<Carrier>,
+        lte: Option<LteAnchor>,
+        mobility: MobilityModel,
+        config: UeSimConfig,
+        seeds: &SeedTree,
+    ) -> Self {
+        assert!(!carriers.is_empty(), "a UE needs at least one carrier");
+        let base_slot_s =
+            carriers.iter().map(|c| c.slot_s()).fold(f64::INFINITY, f64::min);
+        let dividers: Vec<u64> = carriers
+            .iter()
+            .map(|c| (c.slot_s() / base_slot_s).round() as u64)
+            .collect();
+        let lte_divider = (1e-3 / base_slot_s).round() as u64;
+        let n = carriers.len();
+        UeSim {
+            mobility: mobility.into_state(seeds),
+            carriers,
+            dividers,
+            pending_move: vec![0.0; n],
+            lte,
+            lte_divider: lte_divider.max(1),
+            lte_pending_move: 0.0,
+            config,
+            base_slot_s,
+            tick: 0,
+        }
+    }
+
+    /// The base tick duration, seconds.
+    pub fn base_slot_s(&self) -> f64 {
+        self.base_slot_s
+    }
+
+    /// Borrow the carriers (inspection / ablation configuration).
+    pub fn carriers_mut(&mut self) -> &mut [Carrier] {
+        &mut self.carriers
+    }
+
+    /// Run for a duration and return the merged KPI trace (NR carriers and,
+    /// when routed, the LTE UL leg, distinguished by the `carrier` field).
+    pub fn run(&mut self, duration_s: f64) -> KpiTrace {
+        let ticks = (duration_s / self.base_slot_s).round() as u64;
+        let mut trace = KpiTrace::new();
+        for _ in 0..ticks {
+            self.step_into(&mut trace);
+        }
+        trace
+    }
+
+    /// Advance one base tick, appending records to `trace`.
+    pub fn step_into(&mut self, trace: &mut KpiTrace) {
+        let tick = self.tick;
+        self.tick += 1;
+
+        let moved = self.mobility.advance(self.base_slot_s);
+        let position = self.mobility.position();
+        for m in &mut self.pending_move {
+            *m += moved;
+        }
+        self.lte_pending_move += moved;
+
+        // NSA routing decision from the PCell's current CQI.
+        let ul_on_nr = match self.config.routing {
+            UplinkRouting::NrOnly => true,
+            UplinkRouting::LteOnly => false,
+            UplinkRouting::NrAboveCqi { threshold } => {
+                self.carriers[0].current_cqi() >= threshold
+            }
+        };
+
+        for (i, carrier) in self.carriers.iter_mut().enumerate() {
+            if !tick.is_multiple_of(self.dividers[i]) {
+                continue;
+            }
+            let mv = std::mem::take(&mut self.pending_move[i]);
+            // Only the PCell carries NR UL; SCells are DL-only (commercial
+            // mid-band CA is DL-only, as the paper's footnote 4 records).
+            let traffic = if i == 0 {
+                self.config.traffic
+            } else {
+                TrafficPattern { dl: self.config.traffic.dl, ul: false }
+            };
+            let out = carrier.step(position, mv, traffic, ul_on_nr, 1.0, 1.0);
+            trace.push(out.dl);
+            if let Some(ul) = out.ul {
+                trace.push(ul);
+            }
+        }
+
+        // LTE UL leg accrues whenever the UL is not on NR.
+        if self.config.traffic.ul && !ul_on_nr && tick.is_multiple_of(self.lte_divider) {
+            if let Some(lte) = &mut self.lte {
+                let mv = std::mem::take(&mut self.lte_pending_move);
+                trace.push(lte.step_ul(position, mv));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CellConfig;
+    use crate::kpi::Direction;
+    use crate::lte::{LteConfig, LTE_CARRIER_INDEX};
+    use nr_phy::band::Band;
+    use nr_phy::numerology::Numerology;
+    use radio_channel::channel::{ChannelConfig, ChannelSimulator};
+    use radio_channel::geometry::{DeploymentLayout, Position};
+    use radio_channel::link::LinkModel;
+
+    fn mk_carrier(cfg: CellConfig, index: u8, pos: Position, seed: u64) -> Carrier {
+        let seeds = SeedTree::new(seed).child_indexed("cc", index as u64);
+        let channel = ChannelSimulator::new(
+            ChannelConfig::midband_urban(cfg.n_rb),
+            DeploymentLayout::single_site(),
+            MobilityModel::Stationary { position: pos },
+            &seeds,
+        );
+        Carrier::new(cfg, index, channel, LinkModel::midband_qam256(), &seeds)
+    }
+
+    fn mk_lte(pos: Position, seed: u64) -> LteAnchor {
+        let seeds = SeedTree::new(seed).child("lte");
+        let channel = ChannelSimulator::new(
+            LteAnchor::default_channel_config(),
+            DeploymentLayout::single_site(),
+            MobilityModel::Stationary { position: pos },
+            &seeds,
+        );
+        LteAnchor::new(LteConfig::default(), channel)
+    }
+
+    #[test]
+    fn carrier_aggregation_adds_throughput() {
+        let pos = Position::new(80.0, 0.0);
+        let single = {
+            let c = mk_carrier(CellConfig::midband(100, "DDDSU"), 0, pos, 1);
+            let mut sim = UeSim::new(
+                vec![c],
+                None,
+                MobilityModel::Stationary { position: pos },
+                UeSimConfig::default(),
+                &SeedTree::new(1),
+            );
+            sim.run(5.0).mean_throughput_mbps(Direction::Dl)
+        };
+        let aggregated = {
+            let c0 = mk_carrier(CellConfig::midband(100, "DDDSU"), 0, pos, 1);
+            let c1 = mk_carrier(CellConfig::midband(40, "DDDSU"), 1, pos, 1);
+            let mut sim = UeSim::new(
+                vec![c0, c1],
+                None,
+                MobilityModel::Stationary { position: pos },
+                UeSimConfig::default(),
+                &SeedTree::new(1),
+            );
+            sim.run(5.0).mean_throughput_mbps(Direction::Dl)
+        };
+        assert!(
+            aggregated > single * 1.2,
+            "CA {aggregated} should beat single carrier {single}"
+        );
+    }
+
+    #[test]
+    fn mixed_numerology_ca_ticks_correctly() {
+        let pos = Position::new(80.0, 0.0);
+        let n41 = mk_carrier(CellConfig::midband(100, "DDDSU"), 0, pos, 2);
+        let mut n25_cfg = CellConfig::fdd(Band::N25, 20, Numerology::Mu0);
+        n25_cfg.band = Band::N25;
+        let n25 = mk_carrier(n25_cfg, 1, pos, 2);
+        let mut sim = UeSim::new(
+            vec![n41, n25],
+            None,
+            MobilityModel::Stationary { position: pos },
+            UeSimConfig::default(),
+            &SeedTree::new(2),
+        );
+        let trace = sim.run(1.0);
+        let cc0_slots = trace.records.iter().filter(|r| r.carrier == 0).count();
+        let cc1_slots = trace.records.iter().filter(|r| r.carrier == 1).count();
+        // n41 runs 2000 slots/s (DL records every slot + UL records on U
+        // slots); n25 runs 1000 slots/s with DL+UL records each (FDD).
+        assert!(cc0_slots > cc1_slots, "cc0 {cc0_slots} cc1 {cc1_slots}");
+        let cc1_dl = trace
+            .records
+            .iter()
+            .filter(|r| r.carrier == 1 && r.direction == Direction::Dl)
+            .count();
+        assert_eq!(cc1_dl, 1000);
+    }
+
+    #[test]
+    fn lte_only_routing_puts_ul_on_lte() {
+        let pos = Position::new(80.0, 0.0);
+        let c = mk_carrier(CellConfig::midband(100, "DDDSU"), 0, pos, 3);
+        let mut sim = UeSim::new(
+            vec![c],
+            Some(mk_lte(pos, 3)),
+            MobilityModel::Stationary { position: pos },
+            UeSimConfig { traffic: TrafficPattern::BOTH, routing: UplinkRouting::LteOnly },
+            &SeedTree::new(3),
+        );
+        let trace = sim.run(2.0);
+        let nr_ul_bits: u64 = trace
+            .records
+            .iter()
+            .filter(|r| r.direction == Direction::Ul && r.carrier != LTE_CARRIER_INDEX)
+            .map(|r| r.delivered_bits as u64)
+            .sum();
+        let lte_ul_bits: u64 = trace
+            .records
+            .iter()
+            .filter(|r| r.carrier == LTE_CARRIER_INDEX)
+            .map(|r| r.delivered_bits as u64)
+            .sum();
+        assert_eq!(nr_ul_bits, 0, "no NR UL under LteOnly");
+        assert!(lte_ul_bits > 0, "LTE UL carries the traffic");
+    }
+
+    #[test]
+    fn nr_only_routing_never_uses_lte() {
+        let pos = Position::new(80.0, 0.0);
+        let c = mk_carrier(CellConfig::midband(90, "DDDSU"), 0, pos, 4);
+        let mut sim = UeSim::new(
+            vec![c],
+            Some(mk_lte(pos, 4)),
+            MobilityModel::Stationary { position: pos },
+            UeSimConfig { traffic: TrafficPattern::BOTH, routing: UplinkRouting::NrOnly },
+            &SeedTree::new(4),
+        );
+        let trace = sim.run(1.0);
+        assert!(trace.records.iter().all(|r| r.carrier != LTE_CARRIER_INDEX));
+        assert!(trace.mean_throughput_mbps(Direction::Ul) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one carrier")]
+    fn empty_carrier_list_panics() {
+        UeSim::new(
+            vec![],
+            None,
+            MobilityModel::Stationary { position: Position::ORIGIN },
+            UeSimConfig::default(),
+            &SeedTree::new(0),
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Traffic sources: what the UE/gNB actually has to send.
+//!
+//! The paper's measurements saturate the link (iPerf full-buffer), but a
+//! production simulator must also model finite and rate-limited demand —
+//! video streams, file downloads, background traffic. A [`TrafficSource`]
+//! describes the offered load; [`TrafficState`] tracks the backlog the
+//! scheduler drains. Full-buffer sources are the default everywhere and
+//! preserve the calibrated figure behaviour exactly.
+
+use radio_channel::rng::SeedTree;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Offered-load models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficSource {
+    /// Infinite backlog (iPerf-style saturation) — the paper's workload.
+    FullBuffer,
+    /// Constant bitrate: `rate_mbps` arrives smoothly.
+    Cbr {
+        /// Offered rate, Mbps.
+        rate_mbps: f64,
+    },
+    /// Poisson packet arrivals with exponential sizes: bursty web-like
+    /// traffic averaging `mean_rate_mbps`.
+    Poisson {
+        /// Mean offered rate, Mbps.
+        mean_rate_mbps: f64,
+        /// Mean burst size, kilobits (sets arrival granularity).
+        mean_burst_kbit: f64,
+    },
+    /// A finite transfer: `total_megabits` arrive at t = 0, then nothing
+    /// (file download).
+    Finite {
+        /// Transfer size, megabits.
+        total_megabits: f64,
+    },
+}
+
+/// The evolving backlog of one traffic source.
+#[derive(Debug, Clone)]
+pub struct TrafficState {
+    source: TrafficSource,
+    backlog_bits: f64,
+    offered_bits: f64,
+    delivered_bits: f64,
+    rng: ChaCha12Rng,
+}
+
+impl TrafficState {
+    /// Instantiate a source. Finite transfers enqueue immediately.
+    pub fn new(source: TrafficSource, seeds: &SeedTree, label: &str) -> Self {
+        let backlog = match source {
+            TrafficSource::Finite { total_megabits } => total_megabits * 1e6,
+            _ => 0.0,
+        };
+        TrafficState {
+            source,
+            backlog_bits: backlog,
+            offered_bits: backlog,
+            delivered_bits: 0.0,
+            rng: seeds.stream(&format!("traffic/{label}")),
+        }
+    }
+
+    /// The source description.
+    pub fn source(&self) -> TrafficSource {
+        self.source
+    }
+
+    /// Bits currently queued (∞-semantics for full buffer: `f64::INFINITY`).
+    pub fn backlog_bits(&self) -> f64 {
+        match self.source {
+            TrafficSource::FullBuffer => f64::INFINITY,
+            _ => self.backlog_bits,
+        }
+    }
+
+    /// Total bits that have arrived so far (excluding full-buffer).
+    pub fn offered_bits(&self) -> f64 {
+        self.offered_bits
+    }
+
+    /// Total bits drained by the scheduler.
+    pub fn delivered_bits(&self) -> f64 {
+        self.delivered_bits
+    }
+
+    /// Whether the scheduler has anything to send.
+    pub fn has_data(&self) -> bool {
+        match self.source {
+            TrafficSource::FullBuffer => true,
+            _ => self.backlog_bits > 0.0,
+        }
+    }
+
+    /// Advance arrivals by `dt_s` seconds.
+    pub fn arrive(&mut self, dt_s: f64) {
+        match self.source {
+            TrafficSource::FullBuffer | TrafficSource::Finite { .. } => {}
+            TrafficSource::Cbr { rate_mbps } => {
+                let bits = rate_mbps * 1e6 * dt_s;
+                self.backlog_bits += bits;
+                self.offered_bits += bits;
+            }
+            TrafficSource::Poisson { mean_rate_mbps, mean_burst_kbit } => {
+                // Burst arrivals at rate λ = rate / burst_size; the number
+                // of bursts in the step is Poisson(λ·dt) (Knuth sampler —
+                // λ·dt is small at slot granularity).
+                let burst_bits = (mean_burst_kbit * 1e3).max(1.0);
+                let lambda_dt = mean_rate_mbps * 1e6 / burst_bits * dt_s;
+                let threshold = (-lambda_dt).exp();
+                let mut k = 0u32;
+                let mut product: f64 = self.rng.gen();
+                while product > threshold && k < 1000 {
+                    k += 1;
+                    product *= self.rng.gen::<f64>();
+                }
+                for _ in 0..k {
+                    let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                    let bits = -burst_bits * u.ln();
+                    self.backlog_bits += bits;
+                    self.offered_bits += bits;
+                }
+            }
+        }
+    }
+
+    /// The scheduler drains up to `tbs_bits` this slot; returns the bits
+    /// actually taken (≤ backlog for finite sources).
+    pub fn consume(&mut self, tbs_bits: u32) -> u32 {
+        match self.source {
+            TrafficSource::FullBuffer => {
+                self.delivered_bits += f64::from(tbs_bits);
+                tbs_bits
+            }
+            _ => {
+                let take = f64::from(tbs_bits).min(self.backlog_bits).max(0.0);
+                self.backlog_bits -= take;
+                self.delivered_bits += take;
+                take as u32
+            }
+        }
+    }
+
+    /// Fraction of the full carrier this backlog justifies allocating,
+    /// given the transport block a full allocation would carry. Keeps
+    /// lightly-loaded UEs from occupying the whole carrier with padding.
+    pub fn demand_share(&self, full_tbs_bits: u32) -> f64 {
+        match self.source {
+            TrafficSource::FullBuffer => 1.0,
+            _ => {
+                if full_tbs_bits == 0 {
+                    return 0.0;
+                }
+                (self.backlog_bits / f64::from(full_tbs_bits)).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeds() -> SeedTree {
+        SeedTree::new(7)
+    }
+
+    #[test]
+    fn full_buffer_never_empties() {
+        let mut t = TrafficState::new(TrafficSource::FullBuffer, &seeds(), "dl");
+        assert!(t.has_data());
+        assert_eq!(t.consume(1_000_000), 1_000_000);
+        assert!(t.has_data());
+        assert_eq!(t.backlog_bits(), f64::INFINITY);
+        assert_eq!(t.demand_share(500_000), 1.0);
+    }
+
+    #[test]
+    fn cbr_accumulates_at_rate() {
+        let mut t = TrafficState::new(TrafficSource::Cbr { rate_mbps: 100.0 }, &seeds(), "dl");
+        assert!(!t.has_data());
+        t.arrive(0.01); // 10 ms at 100 Mbps = 1 Mbit
+        assert!((t.backlog_bits() - 1e6).abs() < 1.0);
+        // Draining more than the backlog takes only the backlog.
+        let taken = t.consume(2_000_000);
+        assert!((f64::from(taken) - 1e6).abs() < 2.0);
+        assert!(!t.has_data());
+    }
+
+    #[test]
+    fn finite_transfer_completes() {
+        let mut t =
+            TrafficState::new(TrafficSource::Finite { total_megabits: 1.0 }, &seeds(), "dl");
+        assert!(t.has_data());
+        let mut drained = 0u64;
+        while t.has_data() {
+            drained += u64::from(t.consume(123_456));
+        }
+        assert_eq!(drained, 1_000_000);
+        assert_eq!(t.delivered_bits(), 1e6);
+    }
+
+    #[test]
+    fn poisson_long_run_rate_matches() {
+        let mut t = TrafficState::new(
+            TrafficSource::Poisson { mean_rate_mbps: 50.0, mean_burst_kbit: 100.0 },
+            &seeds(),
+            "dl",
+        );
+        let dt = 0.5e-3;
+        for _ in 0..2_000_000 {
+            t.arrive(dt);
+            t.consume(u32::MAX); // drain instantly; we only test arrivals
+        }
+        let rate_mbps = t.offered_bits() / (2_000_000.0 * dt) / 1e6;
+        assert!((rate_mbps - 50.0).abs() < 5.0, "rate {rate_mbps}");
+    }
+
+    #[test]
+    fn demand_share_scales_allocation() {
+        let mut t = TrafficState::new(TrafficSource::Cbr { rate_mbps: 10.0 }, &seeds(), "dl");
+        t.arrive(0.01); // 100 kbit queued
+        // With a 400 kbit full TB, demand justifies a quarter allocation.
+        assert!((t.demand_share(400_000) - 0.25).abs() < 0.01);
+        assert_eq!(t.demand_share(0), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! BOLA — Buffer Occupancy based Lyapunov Algorithm (Spiteri et al.,
+//! IEEE/ACM ToN 2020), the paper's primary ABR.
+//!
+//! BOLA treats bitrate selection as a Lyapunov drift-plus-penalty problem
+//! on the buffer level. For each level m with chunk size S_m (megabits)
+//! and utility v_m = ln(S_m/S_0), it picks the m maximising
+//!
+//! ```text
+//! (V · (v_m + γ·p) − Q) / S_m
+//! ```
+//!
+//! where Q is the buffer in chunks, p the chunk duration and V, γ control
+//! the buffer target. We use the BOLA-BASIC instantiation with the
+//! dash.js-style derivation of V from a buffer target, plus the standard
+//! "BOLA-O" oscillation guard (never exceed the level sustainable at the
+//! recent throughput by more than one step up).
+
+use super::{AbrAlgorithm, AbrContext};
+
+/// BOLA configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Bola {
+    /// Buffer level (seconds) at which the lowest level becomes neutral.
+    pub min_buffer_s: f64,
+    /// Buffer target (seconds): above this the top level is sustained.
+    pub target_buffer_s: f64,
+    /// Enable the oscillation guard (BOLA-O flavour).
+    pub oscillation_guard: bool,
+}
+
+impl Default for Bola {
+    fn default() -> Self {
+        Bola { min_buffer_s: 4.0, target_buffer_s: 16.0, oscillation_guard: true }
+    }
+}
+
+impl Bola {
+    /// Compute the Lyapunov control parameters (V, γp) for a ladder with
+    /// `chunk_s` chunks, following the dash.js derivation: choose V and γ
+    /// so level 0 scores zero at `min_buffer_s` and the top level scores
+    /// zero at `target_buffer_s`.
+    fn control(&self, ctx: &AbrContext<'_>) -> (f64, f64) {
+        let ladder = ctx.ladder;
+        let p = ladder.chunk_s;
+        let top_utility = ladder.utility(ladder.top_level());
+        // Buffer levels in chunk units.
+        let q_min = (self.min_buffer_s / p).max(1.0);
+        let q_target = (self.target_buffer_s / p).max(q_min + 1.0);
+        // Solve: V·(0 + gp) = q_min and V·(u_top + gp) = q_target.
+        let gp = if top_utility > 0.0 {
+            q_min * top_utility / (q_target - q_min).max(1e-9)
+        } else {
+            1.0
+        };
+        let v = q_min / gp.max(1e-9);
+        (v, gp)
+    }
+}
+
+impl AbrAlgorithm for Bola {
+    fn name(&self) -> &'static str {
+        "BOLA"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        let ladder = ctx.ladder;
+        let (v, gp) = self.control(ctx);
+        let q_chunks = ctx.buffer_s / ladder.chunk_s;
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for m in 0..ladder.levels() {
+            let s_m = ladder.chunk_megabits(m);
+            let score = (v * (ladder.utility(m) + gp) - q_chunks) / s_m;
+            if score > best_score {
+                best_score = score;
+                best = m;
+            }
+        }
+        if self.oscillation_guard {
+            // Cap at one level above what the recent throughput sustains,
+            // unless the buffer is already rich.
+            if ctx.buffer_s < self.target_buffer_s {
+                let sustainable = (0..ladder.levels())
+                    .rev()
+                    .find(|&m| ladder.bitrate(m) <= ctx.throughput_ewma_mbps)
+                    .unwrap_or(0);
+                best = best.min(sustainable + 1).min(ladder.top_level());
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abr::test_ctx;
+    use crate::ladder::QualityLadder;
+
+    #[test]
+    fn empty_buffer_chooses_bottom() {
+        let ladder = QualityLadder::paper_midband();
+        let mut bola = Bola::default();
+        assert_eq!(bola.choose(&test_ctx(&ladder, 0.0, 400.0)), 0);
+    }
+
+    #[test]
+    fn full_buffer_chooses_top() {
+        let ladder = QualityLadder::paper_midband();
+        let mut bola = Bola::default();
+        let mut ctx = test_ctx(&ladder, 24.0, 800.0);
+        ctx.throughput_ewma_mbps = 800.0;
+        assert_eq!(bola.choose(&ctx), ladder.top_level());
+    }
+
+    #[test]
+    fn level_monotone_in_buffer() {
+        let ladder = QualityLadder::paper_midband();
+        let mut prev = 0;
+        for buffer in [0.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0] {
+            let mut bola = Bola::default();
+            let level = bola.choose(&test_ctx(&ladder, buffer, 10_000.0));
+            assert!(level >= prev, "buffer {buffer}: {level} < {prev}");
+            prev = level;
+        }
+        assert_eq!(prev, ladder.top_level());
+    }
+
+    #[test]
+    fn oscillation_guard_respects_throughput() {
+        let ladder = QualityLadder::paper_midband();
+        let mut bola = Bola::default();
+        // Big buffer below target, weak throughput: guard caps the level at
+        // one above the 60 Mbps-sustainable level (level 1) → ≤ 2.
+        let level = bola.choose(&test_ctx(&ladder, 12.0, 60.0));
+        assert!(level <= 2, "level {level}");
+        // Without the guard BOLA would go higher on the same buffer.
+        let mut unguarded = Bola { oscillation_guard: false, ..Bola::default() };
+        let free = unguarded.choose(&test_ctx(&ladder, 12.0, 60.0));
+        assert!(free >= level);
+    }
+
+    #[test]
+    fn works_on_the_mmwave_ladder_too() {
+        let ladder = QualityLadder::paper_mmwave();
+        let mut bola = Bola::default();
+        let low = bola.choose(&test_ctx(&ladder, 1.0, 2000.0));
+        let mut bola2 = Bola::default();
+        let high = bola2.choose(&test_ctx(&ladder, 20.0, 3000.0));
+        assert!(high >= low);
+        assert!(high <= ladder.top_level());
+    }
+}

@@ -1,0 +1,77 @@
+//! dash.js `Dynamic`: throughput-based while the buffer is shallow, BOLA
+//! once it is deep (with hysteresis), matching the reference player the
+//! paper drives.
+
+use super::bola::Bola;
+use super::rate::ThroughputRule;
+use super::{AbrAlgorithm, AbrContext};
+
+/// The hybrid controller.
+#[derive(Debug, Clone, Copy)]
+pub struct Dynamic {
+    /// Switch to BOLA when the buffer exceeds this (dash.js: 10 s).
+    pub to_bola_s: f64,
+    /// Switch back to throughput when the buffer falls below this.
+    pub to_throughput_s: f64,
+    bola: Bola,
+    rate: ThroughputRule,
+    using_bola: bool,
+}
+
+impl Default for Dynamic {
+    fn default() -> Self {
+        Dynamic {
+            to_bola_s: 10.0,
+            to_throughput_s: 6.0,
+            bola: Bola::default(),
+            rate: ThroughputRule::default(),
+            using_bola: false,
+        }
+    }
+}
+
+impl AbrAlgorithm for Dynamic {
+    fn name(&self) -> &'static str {
+        "Dynamic"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        if self.using_bola {
+            if ctx.buffer_s < self.to_throughput_s {
+                self.using_bola = false;
+            }
+        } else if ctx.buffer_s > self.to_bola_s {
+            self.using_bola = true;
+        }
+        if self.using_bola {
+            self.bola.choose(ctx)
+        } else {
+            self.rate.choose(ctx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abr::test_ctx;
+    use crate::ladder::QualityLadder;
+
+    #[test]
+    fn switches_regimes_with_hysteresis() {
+        let ladder = QualityLadder::paper_midband();
+        let mut abr = Dynamic::default();
+        // Start shallow: throughput regime.
+        abr.choose(&test_ctx(&ladder, 3.0, 400.0));
+        assert!(!abr.using_bola);
+        // Deep buffer: BOLA takes over.
+        abr.choose(&test_ctx(&ladder, 14.0, 400.0));
+        assert!(abr.using_bola);
+        // Mild dip (8 s) stays BOLA (hysteresis)…
+        abr.choose(&test_ctx(&ladder, 8.0, 400.0));
+        assert!(abr.using_bola);
+        // …a deep dip flips back.
+        abr.choose(&test_ctx(&ladder, 4.0, 400.0));
+        assert!(!abr.using_bola);
+    }
+}

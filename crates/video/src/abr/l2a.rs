@@ -1,0 +1,121 @@
+//! L2A — Learn2Adapt-LowLatency (Karagkioules et al., MMSys 2020),
+//! simplified.
+//!
+//! L2A runs online convex optimisation over a probability simplex of
+//! levels, updating weights from the throughput regret of each decision.
+//! This implementation keeps the online-learning core — multiplicative
+//! weights driven by how badly each level would have overshot the
+//! measured throughput — with the deterministic argmax playout used by
+//! the reference implementation when operating above the latency regime.
+
+use super::{AbrAlgorithm, AbrContext};
+
+/// Simplified L2A state.
+#[derive(Debug, Clone)]
+pub struct L2a {
+    /// Learning rate of the multiplicative-weights update.
+    pub eta: f64,
+    /// Below this buffer the controller defaults to the lowest level.
+    pub panic_buffer_s: f64,
+    weights: Vec<f64>,
+}
+
+impl Default for L2a {
+    fn default() -> Self {
+        L2a { eta: 0.3, panic_buffer_s: 2.0, weights: Vec::new() }
+    }
+}
+
+impl L2a {
+    fn ensure_weights(&mut self, levels: usize) {
+        if self.weights.len() != levels {
+            self.weights = vec![1.0 / levels as f64; levels];
+        }
+    }
+}
+
+impl AbrAlgorithm for L2a {
+    fn name(&self) -> &'static str {
+        "L2A"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        let levels = ctx.ladder.levels();
+        self.ensure_weights(levels);
+        // Loss per level: relative overshoot of the last measured
+        // throughput (levels we could not have sustained lose weight) plus
+        // a small under-utilisation loss so the weights do not collapse to
+        // the bottom.
+        let tput = ctx.last_chunk_mbps.max(1e-3);
+        for (m, w) in self.weights.iter_mut().enumerate() {
+            let rate = ctx.ladder.bitrate(m);
+            let loss = if rate > tput {
+                (rate - tput) / rate // overshoot: would have stalled
+            } else {
+                0.25 * (tput - rate) / tput // waste: quality left unused
+            };
+            *w *= (-self.eta * loss).exp();
+        }
+        let sum: f64 = self.weights.iter().sum();
+        for w in &mut self.weights {
+            *w /= sum;
+        }
+        if ctx.buffer_s < self.panic_buffer_s {
+            return 0;
+        }
+        // Deterministic playout: argmax weight, ties to the higher level.
+        let mut best = 0usize;
+        let mut best_w = f64::NEG_INFINITY;
+        for (m, &w) in self.weights.iter().enumerate() {
+            if w >= best_w {
+                best_w = w;
+                best = m;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abr::test_ctx;
+    use crate::ladder::QualityLadder;
+
+    #[test]
+    fn learns_towards_sustainable_levels() {
+        let ladder = QualityLadder::paper_midband();
+        let mut abr = L2a::default();
+        // Feed consistent 450 Mbps measurements: the argmax should converge
+        // near level 4 (400 Mbps).
+        let mut level = 0;
+        for _ in 0..50 {
+            let mut ctx = test_ctx(&ladder, 12.0, 450.0);
+            ctx.last_chunk_mbps = 450.0;
+            level = abr.choose(&ctx);
+        }
+        assert!((3..=5).contains(&level), "converged to {level}");
+    }
+
+    #[test]
+    fn collapses_to_bottom_under_poor_throughput() {
+        let ladder = QualityLadder::paper_midband();
+        let mut abr = L2a::default();
+        let mut level = 6;
+        for _ in 0..50 {
+            let mut ctx = test_ctx(&ladder, 12.0, 20.0);
+            ctx.last_chunk_mbps = 20.0;
+            level = abr.choose(&ctx);
+        }
+        assert_eq!(level, 0);
+    }
+
+    #[test]
+    fn panic_buffer_overrides_learning() {
+        let ladder = QualityLadder::paper_midband();
+        let mut abr = L2a::default();
+        let mut ctx = test_ctx(&ladder, 1.0, 900.0);
+        ctx.last_chunk_mbps = 900.0;
+        assert_eq!(abr.choose(&ctx), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! LoL+ (Bentaleb et al., IEEE TMM 2022), simplified.
+//!
+//! LoL+ scores candidate levels with a weighted QoE model (bitrate gain,
+//! switch penalty, predicted rebuffer risk) over a short throughput
+//! window. This implementation keeps that QoE-scored selection.
+
+use super::{AbrAlgorithm, AbrContext};
+
+/// Simplified LoL+ controller.
+#[derive(Debug, Clone)]
+pub struct LolPlus {
+    /// Weight of bitrate utility.
+    pub w_bitrate: f64,
+    /// Weight of the level-switch penalty.
+    pub w_switch: f64,
+    /// Weight of the predicted rebuffer penalty.
+    pub w_rebuffer: f64,
+}
+
+impl Default for LolPlus {
+    fn default() -> Self {
+        LolPlus { w_bitrate: 1.0, w_switch: 0.4, w_rebuffer: 4.0 }
+    }
+}
+
+impl AbrAlgorithm for LolPlus {
+    fn name(&self) -> &'static str {
+        "LoL+"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        let ladder = ctx.ladder;
+        let tput = ctx.throughput_ewma_mbps.max(1e-3);
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for m in 0..ladder.levels() {
+            // Predicted download time of the chunk and resulting buffer.
+            let download_s = ladder.chunk_megabits(m) / tput;
+            let predicted_buffer = ctx.buffer_s - download_s + ladder.chunk_s;
+            let rebuffer_risk = (download_s - ctx.buffer_s).max(0.0);
+            let switch_pen = (m as f64 - ctx.last_level as f64).abs() / ladder.levels() as f64;
+            let score = self.w_bitrate * ladder.utility(m)
+                - self.w_switch * switch_pen
+                - self.w_rebuffer * rebuffer_risk
+                - if predicted_buffer < 0.0 { 10.0 } else { 0.0 };
+            if score > best_score {
+                best_score = score;
+                best = m;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abr::test_ctx;
+    use crate::ladder::QualityLadder;
+
+    #[test]
+    fn rich_conditions_pick_high_levels() {
+        let ladder = QualityLadder::paper_midband();
+        let mut abr = LolPlus::default();
+        let level = abr.choose(&test_ctx(&ladder, 20.0, 1500.0));
+        assert!(level >= 5, "level {level}");
+    }
+
+    #[test]
+    fn rebuffer_risk_suppresses_high_levels() {
+        let ladder = QualityLadder::paper_midband();
+        let mut abr = LolPlus::default();
+        // 1 s of buffer, 100 Mbps: a 750 Mbps 4 s chunk needs 30 s to
+        // download — enormous rebuffer risk.
+        let level = abr.choose(&test_ctx(&ladder, 1.0, 100.0));
+        assert!(level <= 1, "level {level}");
+    }
+
+    #[test]
+    fn rebuffer_term_balances_utility_near_the_buffer_edge() {
+        // At 6 s of buffer and 450 Mbps, the top level's predicted download
+        // (≈6.7 s) overruns the buffer and its rebuffer penalty outweighs
+        // the utility gain; level 5 (2400 Mb, ≈5.3 s) does not. LoL+ lands
+        // just below the top.
+        let ladder = QualityLadder::paper_midband();
+        let mut abr = LolPlus::default();
+        let mut ctx = test_ctx(&ladder, 6.0, 450.0);
+        ctx.last_level = 4;
+        let stay = abr.choose(&ctx);
+        assert!((4..=5).contains(&stay), "level {stay}");
+    }
+}

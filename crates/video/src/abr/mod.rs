@@ -1,0 +1,156 @@
+//! Adaptive bitrate algorithms.
+//!
+//! The paper evaluates BOLA \[72\], a throughput-based controller \[50\] and
+//! dash.js's `Dynamic` hybrid, finding BOLA generally best (Fig. 24); its
+//! footnote 6 also mentions L2A \[43\] and LoLP \[19\], both included here as
+//! extensions.
+
+mod aware;
+mod bola;
+mod dynamic;
+mod l2a;
+mod lolp;
+mod rate;
+
+pub use aware::NetworkAware;
+pub use bola::Bola;
+pub use dynamic::Dynamic;
+pub use l2a::L2a;
+pub use lolp::LolPlus;
+pub use rate::ThroughputRule;
+
+use crate::ladder::QualityLadder;
+use serde::{Deserialize, Serialize};
+
+/// What the player tells the ABR before each chunk decision.
+#[derive(Debug, Clone)]
+pub struct AbrContext<'a> {
+    /// The ladder in force.
+    pub ladder: &'a QualityLadder,
+    /// Current buffer level, seconds of playback.
+    pub buffer_s: f64,
+    /// Maximum buffer the player will hold, seconds.
+    pub max_buffer_s: f64,
+    /// Smoothed throughput estimate, Mbps (EWMA over recent chunks).
+    pub throughput_ewma_mbps: f64,
+    /// Throughput achieved by the most recent chunk, Mbps.
+    pub last_chunk_mbps: f64,
+    /// Level of the previous chunk.
+    pub last_level: usize,
+    /// Index of the chunk about to be requested.
+    pub chunk_index: usize,
+    /// Recent channel churn: variability of the link capacity over its
+    /// mean (0 = calm), as a 5G-aware transport/OS layer would expose.
+    /// Classical ABRs ignore it; [`NetworkAware`] consumes it.
+    pub channel_churn: f64,
+}
+
+/// An ABR algorithm: pick the next chunk's level.
+pub trait AbrAlgorithm {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+    /// Decide the level of the next chunk.
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize;
+}
+
+/// Enum of the available algorithms, for configuration surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbrKind {
+    /// BOLA (Lyapunov buffer-based) — the paper's primary.
+    Bola,
+    /// Throughput-based probe-and-adapt.
+    Throughput,
+    /// dash.js Dynamic: throughput at low buffer, BOLA at high buffer.
+    Dynamic,
+    /// Learn2Adapt (online learning) — footnote 6 extension.
+    L2a,
+    /// LoL+ (QoE-weighted low-latency) — footnote 6 extension.
+    LolPlus,
+    /// The 5G-network-aware controller the paper's conclusions call for
+    /// (churn-adaptive BOLA) — this reproduction's extension.
+    NetworkAware,
+}
+
+impl AbrKind {
+    /// All algorithms, for comparison sweeps.
+    pub const ALL: [AbrKind; 6] = [
+        AbrKind::Bola,
+        AbrKind::Throughput,
+        AbrKind::Dynamic,
+        AbrKind::L2a,
+        AbrKind::LolPlus,
+        AbrKind::NetworkAware,
+    ];
+
+    /// Instantiate.
+    pub fn build(self) -> Box<dyn AbrAlgorithm> {
+        match self {
+            AbrKind::Bola => Box::new(Bola::default()),
+            AbrKind::Throughput => Box::new(ThroughputRule::default()),
+            AbrKind::Dynamic => Box::new(Dynamic::default()),
+            AbrKind::L2a => Box::new(L2a::default()),
+            AbrKind::LolPlus => Box::new(LolPlus::default()),
+            AbrKind::NetworkAware => Box::new(NetworkAware::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for AbrKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbrKind::Bola => write!(f, "BOLA"),
+            AbrKind::Throughput => write!(f, "Throughput"),
+            AbrKind::Dynamic => write!(f, "Dynamic"),
+            AbrKind::L2a => write!(f, "L2A"),
+            AbrKind::LolPlus => write!(f, "LoL+"),
+            AbrKind::NetworkAware => write!(f, "5G-aware"),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_ctx(ladder: &QualityLadder, buffer_s: f64, tput: f64) -> AbrContext<'_> {
+    AbrContext {
+        ladder,
+        buffer_s,
+        max_buffer_s: 25.0,
+        throughput_ewma_mbps: tput,
+        last_chunk_mbps: tput,
+        last_level: 0,
+        chunk_index: 5,
+        channel_churn: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_build_and_stay_in_range() {
+        let ladder = QualityLadder::paper_midband();
+        for kind in AbrKind::ALL {
+            let mut abr = kind.build();
+            for buffer in [0.0, 5.0, 15.0, 25.0] {
+                for tput in [10.0, 100.0, 500.0, 1000.0] {
+                    let level = abr.choose(&test_ctx(&ladder, buffer, tput));
+                    assert!(level <= ladder.top_level(), "{kind}: level {level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_throughput_never_hurts_much() {
+        // Weak monotonicity: at the same buffer, 10× throughput should not
+        // pick a lower level for any algorithm.
+        let ladder = QualityLadder::paper_midband();
+        for kind in AbrKind::ALL {
+            let mut a = kind.build();
+            let lo = a.choose(&test_ctx(&ladder, 10.0, 60.0));
+            let mut b = kind.build();
+            let hi = b.choose(&test_ctx(&ladder, 10.0, 600.0));
+            assert!(hi >= lo, "{kind}: {hi} < {lo}");
+        }
+    }
+}

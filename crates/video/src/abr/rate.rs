@@ -1,0 +1,66 @@
+//! Throughput-based ABR — "probe and adapt" (Li et al., JSAC 2014).
+//!
+//! Picks the highest level whose bitrate fits under a safety fraction of
+//! the smoothed throughput estimate; a small buffer floor forces the
+//! lowest level while the buffer is critical.
+
+use super::{AbrAlgorithm, AbrContext};
+
+/// Configuration of the throughput rule.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputRule {
+    /// Fraction of the estimate considered safe to commit (dash.js uses
+    /// 0.9 over its sliding window).
+    pub safety: f64,
+    /// Below this buffer, always fetch the lowest level.
+    pub panic_buffer_s: f64,
+}
+
+impl Default for ThroughputRule {
+    fn default() -> Self {
+        ThroughputRule { safety: 0.9, panic_buffer_s: 2.0 }
+    }
+}
+
+impl AbrAlgorithm for ThroughputRule {
+    fn name(&self) -> &'static str {
+        "Throughput"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        if ctx.buffer_s < self.panic_buffer_s {
+            return 0;
+        }
+        let budget = ctx.throughput_ewma_mbps * self.safety;
+        (0..ctx.ladder.levels())
+            .rev()
+            .find(|&m| ctx.ladder.bitrate(m) <= budget)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abr::test_ctx;
+    use crate::ladder::QualityLadder;
+
+    #[test]
+    fn picks_highest_fitting_level() {
+        let ladder = QualityLadder::paper_midband();
+        let mut abr = ThroughputRule::default();
+        // 500 Mbps · 0.9 = 450 → level 4 (400 Mbps).
+        assert_eq!(abr.choose(&test_ctx(&ladder, 10.0, 500.0)), 4);
+        // 900 Mbps · 0.9 = 810 → level 6 (750).
+        assert_eq!(abr.choose(&test_ctx(&ladder, 10.0, 900.0)), 6);
+        // 20 Mbps: nothing fits → level 0.
+        assert_eq!(abr.choose(&test_ctx(&ladder, 10.0, 20.0)), 0);
+    }
+
+    #[test]
+    fn panic_buffer_forces_bottom() {
+        let ladder = QualityLadder::paper_midband();
+        let mut abr = ThroughputRule::default();
+        assert_eq!(abr.choose(&test_ctx(&ladder, 1.0, 900.0)), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Quality ladders (paper §6 "Evaluation Methodology").
+
+use serde::{Deserialize, Serialize};
+
+/// A DASH quality ladder: per-level bitrates plus the chunk length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityLadder {
+    /// Bitrate of each level, Mbps, ascending (level 0 = lowest).
+    pub bitrates_mbps: Vec<f64>,
+    /// Chunk duration, seconds.
+    pub chunk_s: f64,
+}
+
+impl QualityLadder {
+    /// The paper's mid-band ladder: 30–750 Mbps in 7 levels, 4 s chunks,
+    /// "chosen based on the average operator throughput of about
+    /// 400 Mbps".
+    pub fn paper_midband() -> Self {
+        QualityLadder {
+            bitrates_mbps: vec![30.0, 60.0, 75.0, 200.0, 400.0, 600.0, 750.0],
+            chunk_s: 4.0,
+        }
+    }
+
+    /// The §7 mmWave scale-up ladder: 0.4–2.8 Gbps, ~1.25 Gbps average
+    /// requirement, 1 s chunks.
+    pub fn paper_mmwave() -> Self {
+        QualityLadder {
+            bitrates_mbps: vec![400.0, 800.0, 1200.0, 1500.0, 2000.0, 2400.0, 2800.0],
+            chunk_s: 1.0,
+        }
+    }
+
+    /// The same ladder with a different chunk length (the §6.2 1 s-chunk
+    /// experiment).
+    pub fn with_chunk_s(&self, chunk_s: f64) -> Self {
+        QualityLadder { bitrates_mbps: self.bitrates_mbps.clone(), chunk_s }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.bitrates_mbps.len()
+    }
+
+    /// Highest level index.
+    pub fn top_level(&self) -> usize {
+        self.levels() - 1
+    }
+
+    /// Bitrate of a level, Mbps (clamped to the ladder).
+    pub fn bitrate(&self, level: usize) -> f64 {
+        self.bitrates_mbps[level.min(self.top_level())]
+    }
+
+    /// Chunk size in megabits for a level.
+    pub fn chunk_megabits(&self, level: usize) -> f64 {
+        self.bitrate(level) * self.chunk_s
+    }
+
+    /// BOLA's utility of a level: `ln(S_m / S_0)` (zero at the lowest).
+    pub fn utility(&self, level: usize) -> f64 {
+        (self.bitrate(level) / self.bitrate(0)).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ladders_match_section_6() {
+        let l = QualityLadder::paper_midband();
+        assert_eq!(l.levels(), 7);
+        assert_eq!(l.bitrate(0), 30.0);
+        assert_eq!(l.bitrate(6), 750.0);
+        assert_eq!(l.chunk_s, 4.0);
+        let m = QualityLadder::paper_mmwave();
+        assert_eq!(m.bitrate(6), 2800.0);
+        assert_eq!(m.chunk_s, 1.0);
+    }
+
+    #[test]
+    fn ladders_ascend_and_utilities_grow() {
+        for l in [QualityLadder::paper_midband(), QualityLadder::paper_mmwave()] {
+            for i in 1..l.levels() {
+                assert!(l.bitrate(i) > l.bitrate(i - 1));
+                assert!(l.utility(i) > l.utility(i - 1));
+            }
+            assert_eq!(l.utility(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_scale_with_level_and_duration() {
+        let l = QualityLadder::paper_midband();
+        assert_eq!(l.chunk_megabits(4), 1600.0); // 400 Mbps · 4 s
+        let short = l.with_chunk_s(1.0);
+        assert_eq!(short.chunk_megabits(4), 400.0);
+    }
+
+    #[test]
+    fn out_of_range_level_clamps() {
+        let l = QualityLadder::paper_midband();
+        assert_eq!(l.bitrate(99), 750.0);
+    }
+}

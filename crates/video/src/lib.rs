@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # video — DASH adaptive streaming over simulated 5G links (paper §6)
+//!
+//! The paper's QoE case study: videos segmented into chunks (4 s default,
+//! 1 s in the §6.2 improvement experiment) at seven quality levels whose
+//! bitrates span 30–750 Mbps (≈400 Mbps average requirement) or, for the
+//! §7 mmWave scale-up, 0.4–2.8 Gbps. A DASH client plays them through an
+//! ABR algorithm while the channel evolves underneath.
+//!
+//! * [`ladder`] — the quality ladders and chunking parameters;
+//! * [`abr`] — the algorithms: BOLA (the paper's primary), a
+//!   throughput-based controller, dash.js-style `Dynamic`, and the L2A /
+//!   LoL+ extensions of footnote 6;
+//! * [`player`] — the client simulation: sequential chunk fetches over a
+//!   bandwidth trace, buffer dynamics, stall accounting;
+//! * [`qoe`] — the §6 metrics: normalized bitrate, stall-time
+//!   percentage, quality switches and bitrate smoothness.
+
+pub mod abr;
+pub mod ladder;
+pub mod player;
+pub mod qoe;
+
+pub use abr::{AbrAlgorithm, AbrContext, AbrKind};
+pub use ladder::QualityLadder;
+pub use player::{BandwidthTrace, PlaybackLog, PlayerConfig, PlayerSim};
+pub use qoe::QoeMetrics;

@@ -1,0 +1,151 @@
+//! QoE metrics (paper §6): normalized bitrate, stall percentage, average
+//! quality level, switches and smoothness.
+
+use crate::ladder::QualityLadder;
+use crate::player::PlaybackLog;
+use serde::{Deserialize, Serialize};
+
+/// The §6 evaluation metrics for one streaming session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoeMetrics {
+    /// Mean quality level (the paper's "Avg Quality = 5.41" annotation).
+    pub mean_level: f64,
+    /// Mean bitrate normalised by the top level's (the paper's
+    /// "Norm Bitrate" axis, 0..=1).
+    pub normalized_bitrate: f64,
+    /// Mean delivered bitrate, Mbps.
+    pub mean_bitrate_mbps: f64,
+    /// Total stall time, seconds (startup excluded).
+    pub stall_s: f64,
+    /// Stall time as a percentage of the session (the paper's
+    /// "Stall Time (%)" axis).
+    pub stall_pct: f64,
+    /// Number of quality switches between consecutive chunks.
+    pub switches: usize,
+    /// Mean absolute level change per chunk (bitrate smoothness; the
+    /// paper's footnote 5 fixed-scale V(t) applied to quality levels).
+    pub level_variability: f64,
+    /// Startup delay, seconds.
+    pub startup_s: f64,
+}
+
+impl QoeMetrics {
+    /// Compute from a playback log.
+    pub fn from_log(log: &PlaybackLog, ladder: &QualityLadder) -> QoeMetrics {
+        let n = log.chunks.len();
+        if n == 0 {
+            return QoeMetrics {
+                mean_level: 0.0,
+                normalized_bitrate: 0.0,
+                mean_bitrate_mbps: 0.0,
+                stall_s: log.total_stall_s,
+                stall_pct: 100.0,
+                switches: 0,
+                level_variability: 0.0,
+                startup_s: log.startup_s,
+            };
+        }
+        let mean_level = log.chunks.iter().map(|c| c.level as f64).sum::<f64>() / n as f64;
+        let mean_bitrate =
+            log.chunks.iter().map(|c| c.bitrate_mbps).sum::<f64>() / n as f64;
+        let top = ladder.bitrate(ladder.top_level());
+        let mut switches = 0usize;
+        let mut level_delta = 0.0;
+        for w in log.chunks.windows(2) {
+            if w[0].level != w[1].level {
+                switches += 1;
+            }
+            level_delta += (w[1].level as f64 - w[0].level as f64).abs();
+        }
+        let denom = log.session_s.max(1e-9);
+        QoeMetrics {
+            mean_level,
+            normalized_bitrate: mean_bitrate / top,
+            mean_bitrate_mbps: mean_bitrate,
+            stall_s: log.total_stall_s,
+            stall_pct: 100.0 * log.total_stall_s / denom,
+            switches,
+            level_variability: if n > 1 { level_delta / (n - 1) as f64 } else { 0.0 },
+            startup_s: log.startup_s,
+        }
+    }
+}
+
+impl std::fmt::Display for QoeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "norm bitrate {:.2} | stall {:.2}% ({:.1} s) | avg level {:.2} | {} switches",
+            self.normalized_bitrate, self.stall_pct, self.stall_s, self.mean_level, self.switches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::player::ChunkRecord;
+
+    fn log_with_levels(levels: &[usize], stall_s: f64, session_s: f64) -> PlaybackLog {
+        let ladder = QualityLadder::paper_midband();
+        PlaybackLog {
+            chunks: levels
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| ChunkRecord {
+                    index: i,
+                    level: l,
+                    bitrate_mbps: ladder.bitrate(l),
+                    request_at_s: i as f64 * 4.0,
+                    arrived_at_s: i as f64 * 4.0 + 1.0,
+                    measured_mbps: 500.0,
+                    buffer_at_request_s: 8.0,
+                    stall_s: 0.0,
+                })
+                .collect(),
+            buffer_series: vec![],
+            total_stall_s: stall_s,
+            startup_s: 1.0,
+            session_s,
+            played_s: levels.len() as f64 * 4.0,
+        }
+    }
+
+    #[test]
+    fn metrics_from_steady_top_quality() {
+        let ladder = QualityLadder::paper_midband();
+        let log = log_with_levels(&[6; 10], 0.0, 40.0);
+        let q = QoeMetrics::from_log(&log, &ladder);
+        assert_eq!(q.mean_level, 6.0);
+        assert_eq!(q.normalized_bitrate, 1.0);
+        assert_eq!(q.stall_pct, 0.0);
+        assert_eq!(q.switches, 0);
+        assert_eq!(q.level_variability, 0.0);
+    }
+
+    #[test]
+    fn oscillation_shows_in_switches_and_variability() {
+        let ladder = QualityLadder::paper_midband();
+        let log = log_with_levels(&[6, 0, 6, 0, 6, 0], 0.0, 24.0);
+        let q = QoeMetrics::from_log(&log, &ladder);
+        assert_eq!(q.switches, 5);
+        assert_eq!(q.level_variability, 6.0);
+    }
+
+    #[test]
+    fn stall_percentage() {
+        let ladder = QualityLadder::paper_midband();
+        let log = log_with_levels(&[3; 5], 5.0, 50.0);
+        let q = QoeMetrics::from_log(&log, &ladder);
+        assert!((q.stall_pct - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_is_total_failure() {
+        let ladder = QualityLadder::paper_midband();
+        let log = PlaybackLog { total_stall_s: 12.0, ..Default::default() };
+        let q = QoeMetrics::from_log(&log, &ladder);
+        assert_eq!(q.stall_pct, 100.0);
+        assert_eq!(q.normalized_bitrate, 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the streaming stack.
+
+use proptest::prelude::*;
+use video::abr::AbrContext;
+use video::{AbrKind, BandwidthTrace, PlayerConfig, PlayerSim, QoeMetrics, QualityLadder};
+
+fn ctx(ladder: &QualityLadder, buffer: f64, tput: f64, churn: f64) -> AbrContext<'_> {
+    AbrContext {
+        ladder,
+        buffer_s: buffer,
+        max_buffer_s: 25.0,
+        throughput_ewma_mbps: tput,
+        last_chunk_mbps: tput,
+        last_level: 0,
+        chunk_index: 3,
+        channel_churn: churn,
+    }
+}
+
+proptest! {
+    /// Every ABR returns an in-range level for arbitrary (finite) inputs.
+    #[test]
+    fn abr_total_on_inputs(
+        buffer in 0.0f64..30.0,
+        tput in 0.1f64..5000.0,
+        churn in 0.0f64..3.0,
+    ) {
+        for kind in AbrKind::ALL {
+            let mut abr = kind.build();
+            let ladder = QualityLadder::paper_midband();
+            let level = abr.choose(&ctx(&ladder, buffer, tput, churn));
+            prop_assert!(level <= ladder.top_level(), "{kind}: {level}");
+        }
+    }
+
+    /// Transfer-time accounting is additive: downloading `a` then `b` from
+    /// where `a` finished takes exactly as long as downloading `a + b` in
+    /// one piece — the strongest self-consistency property of the bin walk.
+    #[test]
+    fn transfer_time_additivity(
+        mbps in prop::collection::vec(1.0f64..2000.0, 4..200),
+        t0 in 0.0f64..5.0,
+        a in 0.5f64..2500.0,
+        b in 0.5f64..2500.0,
+    ) {
+        let trace = BandwidthTrace { bin_s: 0.05, mbps };
+        let whole = trace.transfer_time_s(t0, a + b);
+        prop_assert!(whole.is_finite() && whole > 0.0);
+        let first = trace.transfer_time_s(t0, a);
+        let second = trace.transfer_time_s(t0 + first, b);
+        prop_assert!(
+            (first + second - whole).abs() <= 1e-6 * (1.0 + whole),
+            "{first} + {second} != {whole}"
+        );
+        // And monotone in size.
+        prop_assert!(first <= whole + 1e-12);
+    }
+
+    /// Playback conservation for arbitrary traces and every algorithm:
+    /// wall-clock ≥ played time; stalls and startup are non-negative;
+    /// chunk timeline is monotone; QoE metrics stay in range.
+    #[test]
+    fn playback_conservation(
+        mbps in prop::collection::vec(2.0f64..1500.0, 50..300),
+        kind in prop::sample::select(AbrKind::ALL.to_vec()),
+        chunk_s in prop::sample::select(vec![1.0f64, 2.0, 4.0]),
+    ) {
+        let trace = BandwidthTrace { bin_s: 0.1, mbps };
+        let ladder = QualityLadder::paper_midband().with_chunk_s(chunk_s);
+        let mut abr = kind.build();
+        let log = PlayerSim::new(ladder.clone(), PlayerConfig::default(), &trace).play(abr.as_mut());
+        prop_assert!(log.total_stall_s >= 0.0);
+        prop_assert!(log.startup_s >= 0.0);
+        let mut prev_request = 0.0f64;
+        for c in &log.chunks {
+            prop_assert!(c.request_at_s >= prev_request - 1e-9);
+            prop_assert!(c.arrived_at_s >= c.request_at_s);
+            prop_assert!(c.measured_mbps > 0.0);
+            prev_request = c.request_at_s;
+        }
+        let qoe = QoeMetrics::from_log(&log, &ladder);
+        prop_assert!((0.0..=1.0).contains(&qoe.normalized_bitrate));
+        prop_assert!((0.0..=100.0).contains(&qoe.stall_pct));
+        prop_assert!(qoe.mean_level <= ladder.top_level() as f64);
+        if log.chunks.len() > 1 {
+            prop_assert!(qoe.switches < log.chunks.len());
+        }
+    }
+
+    /// Faster links never stream worse with the throughput rule: scaling
+    /// the whole trace up cannot reduce the mean level.
+    #[test]
+    fn capacity_scaling_monotonicity(
+        mbps in prop::collection::vec(5.0f64..300.0, 60..150),
+        factor in 1.5f64..6.0,
+    ) {
+        let slow = BandwidthTrace { bin_s: 0.1, mbps: mbps.clone() };
+        let fast = BandwidthTrace { bin_s: 0.1, mbps: mbps.iter().map(|v| v * factor).collect() };
+        let ladder = QualityLadder::paper_midband();
+        let run = |trace: &BandwidthTrace| {
+            let mut abr = AbrKind::Throughput.build();
+            let log = PlayerSim::new(ladder.clone(), PlayerConfig::default(), trace).play(abr.as_mut());
+            QoeMetrics::from_log(&log, &ladder)
+        };
+        let q_slow = run(&slow);
+        let q_fast = run(&fast);
+        prop_assert!(q_fast.mean_level >= q_slow.mean_level - 1e-9);
+        // (Stall time is NOT monotone in capacity: a faster link commits to
+        // higher levels and can hit a cliff the slow link never risks — the
+        // paper's Fig. 19 mmWave result is exactly this effect.)
+    }
+}

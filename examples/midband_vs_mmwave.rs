@@ -1,0 +1,49 @@
+//! The §7 comparison: why mid-band is the "sweet spot" — mmWave is faster
+//! but erratic, especially under mobility.
+//!
+//! ```sh
+//! cargo run --release --example midband_vs_mmwave
+//! ```
+
+use midband5g::experiments::bandwidth_trace;
+use midband5g::prelude::*;
+use midband5g::video::{PlayerConfig, PlayerSim};
+
+fn run(op: Operator, mobility: MobilityKind, label: &str) {
+    let session = SessionResult::run(SessionSpec {
+        operator: op,
+        mobility,
+        dl: true,
+        ul: false,
+        duration_s: 30.0,
+        seed: 11,
+    });
+    let mean = session.trace.mean_throughput_mbps(Direction::Dl);
+    // Variability at the ~1 s scale, where mmWave blockage dips live.
+    let series = session.trace.throughput_series_mbps(Direction::Dl, 0.05);
+    let v = variability(&series, 20).unwrap_or(0.0);
+    // Stream the paper's ladder over the same channel.
+    let ladder = QualityLadder::paper_midband().with_chunk_s(1.0);
+    let bw = bandwidth_trace(&session.trace, 0.05);
+    let mut abr = AbrKind::Bola.build();
+    let log = PlayerSim::new(ladder.clone(), PlayerConfig::default(), &bw).play(abr.as_mut());
+    let qoe = QoeMetrics::from_log(&log, &ladder);
+    println!(
+        "{label:<22} mean {:>7.0} Mbps | V(1s)/mean {:>5.2} | video: bitrate {:.2}, stalls {:.2}%",
+        mean,
+        v / mean.max(1e-9),
+        qoe.normalized_bitrate,
+        qoe.stall_pct
+    );
+}
+
+fn main() {
+    println!("30 s of walking, then driving, on T-Mobile mid-band vs Verizon mmWave:\n");
+    run(Operator::TMobileUs, MobilityKind::Walking, "mid-band / walking");
+    run(Operator::VerizonMmwaveUs, MobilityKind::Walking, "mmWave   / walking");
+    run(Operator::TMobileUs, MobilityKind::Driving, "mid-band / driving");
+    run(Operator::VerizonMmwaveUs, MobilityKind::Driving, "mmWave   / driving");
+    println!("\nmmWave wins on raw rate but its normalised variability is far higher");
+    println!("(blockage events at 28 GHz), and the gap narrows when driving — the");
+    println!("paper's argument for mid-band as the deployment sweet spot.");
+}

@@ -1,0 +1,53 @@
+//! Compare the Madrid deployments the paper's §4.1 dissects: why does a
+//! 100 MHz channel lose to a 90 MHz one?
+//!
+//! ```sh
+//! cargo run --release --example operator_comparison
+//! ```
+
+use midband5g::prelude::*;
+
+fn main() {
+    println!("The paper's §4.1 question: Orange Spain runs the widest EU channel");
+    println!("(100 MHz, 273 RBs) — why does it deliver the lowest throughput?\n");
+
+    let ops = [Operator::VodafoneSpain, Operator::OrangeSpain90, Operator::OrangeSpain100];
+    println!(
+        "{:<12} {:>4} {:>10} {:>8} {:>8} {:>10} {:>8}",
+        "operator", "MHz", "DL Mbps", "maxQAM", "rank4", "mean REs", "CQI"
+    );
+    for op in ops {
+        // Average a few sessions over the shared Madrid study spots.
+        let mut dl = 0.0;
+        let mut trace = KpiTrace::new();
+        let sessions = 6;
+        for i in 0..sessions {
+            let s = SessionResult::run(SessionSpec::stationary(op, i as usize, 6.0, 100 + i));
+            dl += s.trace.mean_throughput_mbps(Direction::Dl);
+            trace.records.extend(s.trace.records);
+        }
+        dl /= sessions as f64;
+        let shares = trace.layer_shares();
+        let scheduled: Vec<f64> = trace
+            .direction(Direction::Dl)
+            .filter(|r| r.scheduled)
+            .map(|r| f64::from(r.n_re))
+            .collect();
+        let mean_re = scheduled.iter().sum::<f64>() / scheduled.len().max(1) as f64;
+        let cell = &op.profile().carriers[0].cell;
+        println!(
+            "{:<12} {:>4} {:>10.1} {:>8} {:>7.0}% {:>10.0} {:>8.1}",
+            op.acronym(),
+            cell.bandwidth.mhz(),
+            dl,
+            format!("{}", cell.mcs_table().max_modulation()),
+            shares[4] * 100.0,
+            mean_re,
+            trace.mean_cqi()
+        );
+    }
+
+    println!("\nThe answer, as in the paper: the 100 MHz channel allocates MORE");
+    println!("resource elements, but its 64QAM cap and its sparse two-site");
+    println!("coverage (lower MIMO rank) cost more than the extra bandwidth buys.");
+}

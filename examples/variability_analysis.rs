@@ -1,0 +1,44 @@
+//! Apply the paper's §5 scaled variability metric V(t) to a slot-level
+//! trace and see at which time scales a 5G channel actually churns.
+//!
+//! ```sh
+//! cargo run --release --example variability_analysis
+//! ```
+
+use midband5g::experiments::variability::slot_series;
+use midband5g::prelude::*;
+
+fn main() {
+    for op in [Operator::VodafoneItaly, Operator::OrangeSpain100] {
+        let session = SessionResult::run(SessionSpec {
+            operator: op,
+            mobility: MobilityKind::Stationary { spot: 0 },
+            dl: true,
+            ul: true,
+            duration_s: 20.0,
+            seed: 5,
+        });
+        let (tput, mcs, mimo) = slot_series(&session);
+        println!("=== {} (20 s, slot-level τ = 0.5 ms) ===", op.acronym());
+        println!("{:>12} {:>14} {:>10} {:>10}", "t", "V_tput (Mbps)", "V_MCS", "V_MIMO");
+        let profiles = [
+            variability_profile(&tput, 0.5e-3, 4),
+            variability_profile(&mcs, 0.5e-3, 4),
+            variability_profile(&mimo, 0.5e-3, 4),
+        ];
+        for (i, p) in profiles[0].iter().enumerate().step_by(2) {
+            println!(
+                "{:>10.1} ms {:>14.1} {:>10.3} {:>10.4}",
+                p.timescale_s * 1e3,
+                p.variability,
+                profiles[1].get(i).map(|x| x.variability).unwrap_or(f64::NAN),
+                profiles[2].get(i).map(|x| x.variability).unwrap_or(f64::NAN)
+            );
+        }
+        println!();
+    }
+    println!("Two §5 observations to look for: variability collapses as the time");
+    println!("scale grows (stabilising around 0.2–0.5 s), and the channel with the");
+    println!("churnier MCS/MIMO series (O_Sp[100]) is the one with the churnier");
+    println!("throughput — parameter variability drives throughput variability.");
+}

@@ -1,0 +1,7 @@
+//! Workspace-level umbrella for examples and integration tests.
+//!
+//! The real library surface lives in the [`midband5g`] crate; this package
+//! exists so the repository root can host runnable `examples/` and
+//! cross-crate `tests/` as laid out in DESIGN.md.
+
+pub use midband5g;

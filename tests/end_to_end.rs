@@ -1,0 +1,87 @@
+//! Cross-crate integration: the full pipeline from operator profile to
+//! application QoE, exercised end to end.
+
+use midband5g::experiments::bandwidth_trace;
+use midband5g::prelude::*;
+use midband5g::video::{PlayerConfig, PlayerSim};
+
+/// Channel → KPI trace → capacity trace → DASH player → QoE: the complete
+/// path every §6 figure depends on.
+#[test]
+fn channel_to_qoe_pipeline() {
+    let session = SessionResult::run(SessionSpec {
+        operator: Operator::VodafoneSpain,
+        mobility: MobilityKind::Stationary { spot: 0 },
+        dl: true,
+        ul: false,
+        duration_s: 40.0,
+        seed: 1,
+    });
+    assert!(session.trace.mean_throughput_mbps(Direction::Dl) > 100.0);
+
+    let bw = bandwidth_trace(&session.trace, 0.05);
+    assert!((bw.duration_s() - 40.0).abs() < 0.5);
+
+    let ladder = QualityLadder::paper_midband();
+    let mut abr = AbrKind::Bola.build();
+    let log = PlayerSim::new(ladder.clone(), PlayerConfig::default(), &bw).play(abr.as_mut());
+    assert!(!log.chunks.is_empty());
+    let qoe = QoeMetrics::from_log(&log, &ladder);
+    assert!(qoe.normalized_bitrate > 0.05 && qoe.normalized_bitrate <= 1.0);
+    assert!(qoe.stall_pct <= 100.0);
+}
+
+/// The variability pipeline: slot series → V(t) profile, on real simulator
+/// output rather than synthetic series.
+#[test]
+fn channel_to_variability_pipeline() {
+    let session = SessionResult::run(SessionSpec {
+        operator: Operator::VodafoneItaly,
+        mobility: MobilityKind::Stationary { spot: 1 },
+        dl: true,
+        ul: true,
+        duration_s: 8.0,
+        seed: 2,
+    });
+    let (tput, mcs, mimo) = midband5g::experiments::variability::slot_series(&session);
+    assert_eq!(tput.len(), mcs.len());
+    assert_eq!(mcs.len(), mimo.len());
+    assert!(tput.len() >= 15_000, "slot-level series expected, got {}", tput.len());
+    let profile = variability_profile(&tput, 0.5e-3, 4);
+    assert!(profile.len() >= 8, "profile covers many dyadic scales");
+    // Small scales churn more than large scales on a TDD channel.
+    assert!(profile.first().unwrap().variability > profile.last().unwrap().variability);
+}
+
+/// NSA behaviour end to end: T-Mobile's UL rides LTE while its DL rides
+/// the NR CA aggregate.
+#[test]
+fn nsa_split_end_to_end() {
+    let session = SessionResult::run(SessionSpec {
+        operator: Operator::TMobileUs,
+        mobility: MobilityKind::Stationary { spot: 0 },
+        dl: true,
+        ul: true,
+        duration_s: 4.0,
+        seed: 3,
+    });
+    let nr = midband5g::measure::iperf::nr_only(&session.trace);
+    let lte = midband5g::measure::iperf::lte_only(&session.trace);
+    assert_eq!(nr.mean_throughput_mbps(Direction::Ul), 0.0, "UL routed off NR");
+    assert!(lte.mean_throughput_mbps(Direction::Ul) > 10.0, "LTE carries UL");
+    assert!(nr.mean_throughput_mbps(Direction::Dl) > 300.0, "CA DL");
+    // Multiple NR carriers actually contributed.
+    let carriers: std::collections::BTreeSet<u8> =
+        nr.records.iter().map(|r| r.carrier).collect();
+    assert!(carriers.len() >= 2, "CA uses multiple CCs: {carriers:?}");
+}
+
+/// The latency experiment consumes operator profiles directly.
+#[test]
+fn latency_pipeline() {
+    let r = midband5g::measure::latency::measure_latency(Operator::VodafoneGermany, 2000, 4);
+    assert_eq!(r.pattern, "DDDSU");
+    assert!(r.bler_zero_ms > 0.5 && r.bler_zero_ms < 5.0);
+    assert!(r.bler_positive_ms > r.bler_zero_ms);
+    assert!(r.bler_zero_stats.n == 2000);
+}

@@ -1,0 +1,104 @@
+//! Property-based tests over the public API surface (proptest).
+//!
+//! These complement the per-crate property tests by crossing crate
+//! boundaries: arbitrary-but-valid configurations must flow through the
+//! whole stack without violating invariants.
+
+use midband5g::analysis::variability::variability;
+use midband5g::nr_phy::bandwidth::{max_transmission_bandwidth, ChannelBandwidth};
+use midband5g::nr_phy::cqi::{Cqi, CqiTable, CqiToMcsPolicy};
+use midband5g::nr_phy::resource::RbAllocation;
+use midband5g::nr_phy::tbs::transport_block_size;
+use midband5g::nr_phy::Numerology;
+use midband5g::video::{AbrKind, BandwidthTrace, PlayerConfig, PlayerSim, QualityLadder};
+use proptest::prelude::*;
+
+proptest! {
+    /// TBS never exceeds the raw information capacity of the allocation
+    /// and is monotone in layers, for all valid inputs.
+    #[test]
+    fn tbs_bounded_and_monotone(
+        n_prb in 1u16..=273,
+        mcs in 0u8..28,
+        layers in 1u8..=4,
+    ) {
+        let alloc = RbAllocation::full_slot(n_prb);
+        let table = midband5g::nr_phy::mcs::McsTable::Qam256;
+        let tbs = transport_block_size(&alloc, table, midband5g::nr_phy::mcs::McsIndex(mcs), layers);
+        // Upper bound: REs × 8 bits/symbol × layers (code rate < 1).
+        let cap = alloc.tbs_re() as u64 * 8 * layers as u64;
+        prop_assert!(u64::from(tbs) <= cap, "tbs {tbs} cap {cap}");
+        if layers < 4 {
+            let more = transport_block_size(&alloc, table, midband5g::nr_phy::mcs::McsIndex(mcs), layers + 1);
+            prop_assert!(more >= tbs);
+        }
+    }
+
+    /// The CQI→MCS policy always returns an index valid for its table,
+    /// for every CQI and offset.
+    #[test]
+    fn cqi_policy_stays_in_table(cqi in 0u8..=15, offset in -8i8..=8) {
+        for table in [CqiTable::Table1, CqiTable::Table2] {
+            let policy = CqiToMcsPolicy {
+                index_offset: offset,
+                ..CqiToMcsPolicy::neutral(table)
+            };
+            let mcs = policy.map(Cqi::new(cqi).unwrap());
+            prop_assert!(mcs.0 < policy.mcs_table.len());
+        }
+    }
+
+    /// N_RB lookups either fail or return something that fits the channel.
+    #[test]
+    fn nrb_fits_channel(mhz in 1u32..=120) {
+        for numerology in [Numerology::Mu0, Numerology::Mu1, Numerology::Mu2] {
+            if let Ok(n_rb) = max_transmission_bandwidth(ChannelBandwidth::from_mhz(mhz), numerology) {
+                let occupied = u32::from(n_rb) * 12 * numerology.scs_khz();
+                prop_assert!(occupied < mhz * 1000, "{n_rb} RBs overflow {mhz} MHz");
+            }
+        }
+    }
+
+    /// V(t) is non-negative, zero for constants, and scale-invariant under
+    /// constant shifts.
+    #[test]
+    fn variability_invariants(
+        values in prop::collection::vec(-1e3f64..1e3, 16..256),
+        shift in -1e3f64..1e3,
+        block in 1usize..8,
+    ) {
+        if let Some(v) = variability(&values, block) {
+            prop_assert!(v >= 0.0);
+            let shifted: Vec<f64> = values.iter().map(|x| x + shift).collect();
+            let vs = variability(&shifted, block).unwrap();
+            prop_assert!((v - vs).abs() < 1e-6, "shift invariance: {v} vs {vs}");
+        }
+        let constant = vec![shift; values.len()];
+        if let Some(v) = variability(&constant, block) {
+            prop_assert!(v.abs() < 1e-12);
+        }
+    }
+
+    /// The DASH player conserves media time: played seconds = chunks ×
+    /// chunk length, and the buffer never exceeds the cap, for arbitrary
+    /// (bounded) bandwidth traces.
+    #[test]
+    fn player_conservation(
+        mbps in prop::collection::vec(5.0f64..2000.0, 100..400),
+        chunk_s in 1.0f64..4.0,
+    ) {
+        let trace = BandwidthTrace { bin_s: 0.1, mbps };
+        let ladder = QualityLadder::paper_midband().with_chunk_s(chunk_s);
+        let mut abr = AbrKind::Bola.build();
+        let cfg = PlayerConfig::default();
+        let log = PlayerSim::new(ladder.clone(), cfg, &trace).play(abr.as_mut());
+        prop_assert!((log.played_s - log.chunks.len() as f64 * chunk_s).abs() < 1e-9);
+        for &(_, b) in &log.buffer_series {
+            prop_assert!(b <= cfg.max_buffer_s + 1e-9);
+        }
+        for c in &log.chunks {
+            prop_assert!(c.level <= ladder.top_level());
+            prop_assert!(c.arrived_at_s >= c.request_at_s);
+        }
+    }
+}
