@@ -1,0 +1,41 @@
+//! Criterion benchmark of the parallel campaign executor: a standard
+//! `Campaign` (12 sessions × 10 s) run sequentially versus across 1, 2, 4
+//! and 8 worker threads. On an N-core machine the parallel path should
+//! approach N× on the embarrassingly-parallel session fan-out; on a
+//! single core it measures the executor's overhead (which must be small —
+//! the 1-thread case bypasses the pool entirely).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use midband5g::measure::campaign::Campaign;
+use midband5g::operators::Operator;
+
+/// Short sessions keep one bench iteration tractable while preserving the
+/// standard campaign's session count (and therefore its fan-out shape).
+fn bench_campaign() -> Campaign {
+    Campaign { sessions: 12, session_duration_s: 0.5, ..Campaign::standard(Operator::VodafoneItaly, 31) }
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(campaign.sessions));
+    group.bench_function("sequential", |b| b.iter(|| campaign.run()));
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    let mut group = c.benchmark_group("campaign_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(campaign.sessions));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads_{threads:02}"), |b| {
+            b.iter(|| campaign.run_parallel(threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_parallel);
+criterion_main!(benches);

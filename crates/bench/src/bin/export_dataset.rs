@@ -21,7 +21,7 @@ fn main() {
             session_duration_s: args.duration_s,
             base_seed: args.seed + i as u64 * 1000,
         };
-        all.extend(campaign.run());
+        all.extend(campaign.run_auto());
         println!("  {op}: {} sessions", args.sessions);
     }
     let manifest = ds

@@ -20,7 +20,8 @@ pub mod ul_throughput;
 pub mod variability;
 pub mod video_qoe;
 
-use measure::session::{MobilityKind, SessionResult, SessionSpec};
+use measure::campaign::Campaign;
+use measure::session::SessionResult;
 use operators::Operator;
 use ran::kpi::{Direction, KpiTrace};
 
@@ -33,24 +34,18 @@ pub const DEFAULT_DURATION_S: f64 = 10.0;
 
 /// Run a standard stationary campaign for an operator and return the
 /// session results.
+///
+/// Sessions fan out across the `MIDBAND5G_THREADS` worker pool (default:
+/// all cores) via [`measure::executor::Executor`]; results are in spec
+/// order and bit-identical to a sequential run, so every figure built on
+/// this helper is reproducible regardless of parallelism.
 pub fn run_campaign(
     operator: Operator,
     sessions: u64,
     duration_s: f64,
     base_seed: u64,
 ) -> Vec<SessionResult> {
-    (0..sessions)
-        .map(|i| {
-            SessionResult::run(SessionSpec {
-                operator,
-                mobility: MobilityKind::Stationary { spot: i as usize },
-                dl: true,
-                ul: true,
-                duration_s,
-                seed: base_seed + i,
-            })
-        })
-        .collect()
+    Campaign { operator, sessions, session_duration_s: duration_s, base_seed }.run_auto()
 }
 
 /// Pool per-second DL throughput samples across sessions — what each box

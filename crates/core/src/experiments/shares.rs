@@ -144,16 +144,17 @@ mod tests {
         let osp100 = rows.iter().find(|r| r.operator == "O_Sp[100]").unwrap();
         let vsp = rows.iter().find(|r| r.operator == "V_Sp").unwrap();
         assert_eq!(osp100.qam256, 0.0, "64QAM cap bans 256QAM");
-        // High orders dominate on the dense 90 MHz channels, with 64QAM the
-        // workhorse (exact splits are seed-batch noisy; the cap contrast
-        // above is the figure's hard claim).
+        // High orders dominate on the dense 90 MHz channels, and the
+        // uncapped carrier actually exercises 256QAM (exact splits are
+        // seed-batch noisy; the cap contrast above is the figure's hard
+        // claim).
         assert!(
             vsp.qam64 + vsp.qam256 > 0.5,
             "high orders dominate: 64QAM {} + 256QAM {}",
             vsp.qam64,
             vsp.qam256
         );
-        assert!(vsp.qam64 > 0.25, "64QAM share {}", vsp.qam64);
+        assert!(vsp.qam256 > 0.2, "256QAM share {}", vsp.qam256);
         let sum = vsp.qpsk + vsp.qam16 + vsp.qam64 + vsp.qam256;
         assert!((sum - 1.0).abs() < 1e-9);
     }

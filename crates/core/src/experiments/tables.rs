@@ -88,7 +88,7 @@ pub fn table1(sessions_per_operator: u64, session_s: f64, seed: u64) -> Table1 {
             session_duration_s: session_s,
             base_seed: seed + i as u64 * 1000,
         };
-        for r in campaign.run() {
+        for r in campaign.run_auto() {
             totals.add(&r);
         }
         let p = op.profile();

@@ -7,6 +7,7 @@
 //! traces feed every figure. [`CampaignTotals`] accumulates the Table 1
 //! aggregates.
 
+use crate::executor::Executor;
 use crate::session::{MobilityKind, SessionResult, SessionSpec};
 use operators::Operator;
 use serde::{Deserialize, Serialize};
@@ -31,7 +32,8 @@ impl Campaign {
         Campaign { operator, sessions: 12, session_duration_s: 10.0, base_seed }
     }
 
-    /// The session specs of this campaign.
+    /// The session specs of this campaign. Seeds wrap on overflow so a
+    /// `base_seed` near `u64::MAX` still yields `sessions` distinct seeds.
     pub fn specs(&self) -> Vec<SessionSpec> {
         (0..self.sessions)
             .map(|i| SessionSpec {
@@ -40,14 +42,28 @@ impl Campaign {
                 dl: true,
                 ul: true,
                 duration_s: self.session_duration_s,
-                seed: self.base_seed + i,
+                seed: self.base_seed.wrapping_add(i),
             })
             .collect()
     }
 
-    /// Run every session.
+    /// Run every session sequentially — the reference path the
+    /// determinism harness compares [`Campaign::run_parallel`] against.
     pub fn run(&self) -> Vec<SessionResult> {
         self.specs().into_iter().map(SessionResult::run).collect()
+    }
+
+    /// Run every session across `threads` workers. Results come back in
+    /// spec order and are byte-identical to [`Campaign::run`]
+    /// (`tests/determinism.rs` enforces this for thread counts 1/2/8).
+    pub fn run_parallel(&self, threads: usize) -> Vec<SessionResult> {
+        Executor::new(threads).run_sessions(&self.specs())
+    }
+
+    /// Run with the thread count from `MIDBAND5G_THREADS` (default: all
+    /// available cores) — what the figure binaries use.
+    pub fn run_auto(&self) -> Vec<SessionResult> {
+        Executor::from_env().run_sessions(&self.specs())
     }
 }
 

@@ -1,0 +1,178 @@
+//! Deterministic parallel execution of independent sessions.
+//!
+//! The study's 5600+ minutes of campaigns replay here as seeded
+//! simulations, and every session derives all of its randomness from its
+//! own `SessionSpec::seed` sub-stream (DESIGN.md §5) — sessions share no
+//! mutable state, so a campaign is embarrassingly parallel *by
+//! construction*. [`Executor`] cashes that in: a scoped thread pool pulls
+//! specs off a shared atomic work queue (self-balancing, so a slow
+//! driving session doesn't stall a fast stationary one) and results are
+//! reassembled in **spec order**, making the parallel output
+//! byte-identical to the sequential path. `tests/determinism.rs` is the
+//! contract: the JSON encoding of `run_parallel(n)` equals the
+//! sequential encoding for every operator profile and thread count.
+//!
+//! Thread count selection: [`Executor::from_env`] honours
+//! `MIDBAND5G_THREADS` (0 or unset ⇒ all available cores), which the
+//! figure/`repro_all` binaries route through `experiments::run_campaign`.
+
+use crate::session::{SessionResult, SessionSpec};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable selecting the campaign thread count.
+/// Unset or `0` means "all available cores"; `1` forces sequential.
+pub const THREADS_ENV: &str = "MIDBAND5G_THREADS";
+
+/// A deterministic parallel map over independent work items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: NonZeroUsize,
+}
+
+impl Executor {
+    /// An executor with an explicit thread count (0 is clamped to 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor { threads: NonZeroUsize::new(threads.max(1)).unwrap() }
+    }
+
+    /// The sequential executor.
+    pub fn sequential() -> Executor {
+        Executor::new(1)
+    }
+
+    /// Thread count from [`THREADS_ENV`], defaulting to available
+    /// parallelism. An unparsable value falls back to the default rather
+    /// than panicking mid-campaign.
+    pub fn from_env() -> Executor {
+        let available =
+            || std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let threads = match std::env::var(THREADS_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(0) | Err(_) => available(),
+                Ok(n) => n,
+            },
+            Err(_) => available(),
+        };
+        Executor::new(threads)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Apply `work` to every item, returning outputs in **input order**
+    /// regardless of which worker finished first.
+    ///
+    /// Workers claim items from a shared atomic cursor — the
+    /// channel-of-indexed-results pattern of work-stealing pools, with the
+    /// queue itself lock-free. With one worker (or ≤1 item) this runs
+    /// inline on the caller's thread with zero scheduling overhead, which
+    /// also makes `Executor::sequential()` trivially identical to a plain
+    /// `iter().map()`.
+    ///
+    /// Panics in `work` propagate to the caller once the scope joins.
+    pub fn map<T, O, F>(&self, items: &[T], work: F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(&T) -> O + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads().min(n);
+        if workers <= 1 {
+            return items.iter().map(work).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, O)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let work = &work;
+                scope.spawn(move || loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    // The receiver outlives the scope; a send can only
+                    // fail if the main thread is already unwinding.
+                    if tx.send((index, work(&items[index]))).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+
+        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        for (index, output) in rx {
+            debug_assert!(slots[index].is_none(), "index {index} delivered twice");
+            slots[index] = Some(output);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// Run a batch of session specs, results in spec order.
+    pub fn run_sessions(&self, specs: &[SessionSpec]) -> Vec<SessionResult> {
+        self.map(specs, |spec| SessionResult::run(*spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = Executor::new(8).map(&items, |x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(Executor::new(threads).map(&items, |x| x * x + 1), expect);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        Executor::new(4).map(&counters, |c| c.fetch_add(1, Ordering::SeqCst));
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(Executor::new(4).map(&none, |x| *x).is_empty());
+        assert_eq!(Executor::new(4).map(&[7u8], |x| *x), vec![7]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(Executor::sequential().threads(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        Executor::new(4).map(&items, |x| {
+            assert!(*x < 8, "boom");
+            *x
+        });
+    }
+}

@@ -14,11 +14,13 @@
 
 pub mod campaign;
 pub mod dataset;
+pub mod executor;
 pub mod iperf;
 pub mod latency;
 pub mod session;
 
 pub use campaign::{Campaign, CampaignTotals};
 pub use dataset::{trace_to_csv, Dataset, DatasetManifest};
+pub use executor::{Executor, THREADS_ENV};
 pub use iperf::{nr_only, run_iperf};
 pub use session::{MobilityKind, SessionResult, SessionSpec};

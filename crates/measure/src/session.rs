@@ -75,7 +75,7 @@ impl SessionSpec {
 }
 
 /// A completed session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionResult {
     /// The spec that produced it.
     pub spec: SessionSpec,

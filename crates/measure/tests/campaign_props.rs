@@ -1,0 +1,82 @@
+//! Property tests of campaign spec generation — the invariants the
+//! parallel executor relies on: one spec per session, pairwise-distinct
+//! seeds (so no two sessions share a random stream), overflow-safe
+//! derivation, and specs that are pure data (rebuilding them yields the
+//! same batch).
+
+use measure::campaign::Campaign;
+use operators::Operator;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn specs_len_matches_sessions(
+        sessions in 0u64..200,
+        base_seed in 0u64..u64::MAX,
+        duration in 0.1f64..30.0,
+    ) {
+        let c = Campaign {
+            operator: Operator::VodafoneItaly,
+            sessions,
+            session_duration_s: duration,
+            base_seed,
+        };
+        prop_assert_eq!(c.specs().len() as u64, sessions);
+    }
+
+    #[test]
+    fn seeds_are_unique_and_sequential(sessions in 1u64..200, base_seed in 0u64..u64::MAX / 2) {
+        let c = Campaign {
+            operator: Operator::OrangeSpain100,
+            sessions,
+            session_duration_s: 1.0,
+            base_seed,
+        };
+        let seeds: Vec<u64> = c.specs().iter().map(|s| s.seed).collect();
+        for (i, &seed) in seeds.iter().enumerate() {
+            prop_assert_eq!(seed, base_seed + i as u64);
+        }
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), seeds.len(), "seed collision within a campaign");
+    }
+
+    #[test]
+    fn seeds_survive_base_seed_overflow(offset in 0u64..100, sessions in 1u64..200) {
+        // base_seed within `sessions` of u64::MAX: derivation must wrap,
+        // not panic, and the wrapped seeds stay pairwise distinct.
+        let c = Campaign {
+            operator: Operator::SfrFrance,
+            sessions,
+            session_duration_s: 1.0,
+            base_seed: u64::MAX - offset,
+        };
+        let specs = c.specs();
+        prop_assert_eq!(specs.len() as u64, sessions);
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        prop_assert_eq!(seeds.len() as u64, sessions, "wrapping produced a collision");
+    }
+
+    #[test]
+    fn specs_are_pure_data(sessions in 1u64..50, base_seed in 0u64..u64::MAX) {
+        let c = Campaign {
+            operator: Operator::TelekomGermany,
+            sessions,
+            session_duration_s: 2.5,
+            base_seed,
+        };
+        prop_assert_eq!(c.specs(), c.specs(), "specs() is not deterministic");
+        for (i, spec) in c.specs().iter().enumerate() {
+            prop_assert!(spec.dl && spec.ul, "standard campaign saturates both directions");
+            prop_assert_eq!(spec.duration_s, 2.5);
+            prop_assert_eq!(spec.operator, Operator::TelekomGermany);
+            prop_assert!(
+                matches!(spec.mobility, measure::session::MobilityKind::Stationary { spot } if spot == i),
+                "session {i} does not rotate onto spot {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Dataset export → import round-trip at campaign scale: the re-imported
+//! sessions must reproduce the original [`CampaignTotals`] and the exact
+//! KPI traces, so every figure recomputed from an exported artifact
+//! matches one computed live. The campaign runs through the parallel
+//! executor, making this also an end-to-end check that the parallel path
+//! feeds the artifact pipeline unchanged.
+
+use measure::campaign::{Campaign, CampaignTotals};
+use measure::dataset::Dataset;
+use measure::session::SessionResult;
+use operators::Operator;
+use ran::kpi::Direction;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("midband5g-roundtrip-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn totals_of(results: &[SessionResult]) -> CampaignTotals {
+    let mut totals = CampaignTotals::default();
+    for r in results {
+        totals.add(r);
+    }
+    totals
+}
+
+#[test]
+fn export_import_reproduces_totals_and_traces() {
+    let mut all = Vec::new();
+    for (i, op) in [Operator::VodafoneItaly, Operator::VerizonUs].into_iter().enumerate() {
+        let campaign =
+            Campaign { operator: op, sessions: 3, session_duration_s: 1.0, base_seed: 400 + i as u64 * 100 };
+        all.extend(campaign.run_parallel(2));
+    }
+    let before = totals_of(&all);
+
+    let ds = Dataset::at(tmpdir("totals"));
+    let manifest = ds.export("round-trip campaign", &all).unwrap();
+    assert_eq!(manifest.sessions.len(), all.len());
+    assert_eq!(
+        manifest.total_records,
+        all.iter().map(|r| r.trace.records.len() as u64).sum::<u64>()
+    );
+
+    let loaded = ds.load_all().unwrap();
+    assert_eq!(loaded.len(), all.len());
+
+    // Identical traces record-for-record …
+    for (orig, back) in all.iter().zip(&loaded) {
+        assert_eq!(orig.spec, back.spec);
+        assert_eq!(orig.trace, back.trace, "trace changed across export/import");
+    }
+
+    // … and identical Table 1 aggregates and KPI series.
+    let reloaded: Vec<SessionResult> =
+        loaded.into_iter().map(|rec| SessionResult { spec: rec.spec, trace: rec.trace }).collect();
+    let after = totals_of(&reloaded);
+    assert_eq!(before, after, "CampaignTotals changed across export/import");
+    for (orig, back) in all.iter().zip(&reloaded) {
+        assert_eq!(
+            orig.trace.throughput_series_mbps(Direction::Dl, 1.0),
+            back.trace.throughput_series_mbps(Direction::Dl, 1.0)
+        );
+        assert_eq!(
+            orig.trace.throughput_series_mbps(Direction::Ul, 1.0),
+            back.trace.throughput_series_mbps(Direction::Ul, 1.0)
+        );
+    }
+
+    std::fs::remove_dir_all(ds.root()).unwrap();
+}
+
+#[test]
+fn manifest_order_is_export_order() {
+    let campaign = Campaign {
+        operator: Operator::TelekomGermany,
+        sessions: 4,
+        session_duration_s: 0.5,
+        base_seed: 7,
+    };
+    let results = campaign.run_parallel(2);
+    let ds = Dataset::at(tmpdir("order"));
+    let manifest = ds.export("ordering", &results).unwrap();
+    // File names embed the seed; manifest order must follow spec order.
+    for (name, r) in manifest.sessions.iter().zip(&results) {
+        assert!(
+            name.contains(&format!("seed{}", r.spec.seed)),
+            "manifest entry {name} out of order (expected seed {})",
+            r.spec.seed
+        );
+    }
+    let loaded = ds.load_all().unwrap();
+    let seeds: Vec<u64> = loaded.iter().map(|r| r.spec.seed).collect();
+    assert_eq!(seeds, vec![7, 8, 9, 10]);
+    std::fs::remove_dir_all(ds.root()).unwrap();
+}

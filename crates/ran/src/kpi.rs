@@ -102,7 +102,7 @@ impl SlotKpi {
 }
 
 /// A full slot-level trace with aggregation helpers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KpiTrace {
     /// The records, in slot order (possibly interleaved across carriers).
     pub records: Vec<SlotKpi>,

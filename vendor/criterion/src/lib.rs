@@ -1,0 +1,279 @@
+#![warn(missing_docs)]
+
+//! Offline vendored micro-benchmark harness.
+//!
+//! Implements the `criterion` API shape the workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with throughput annotation, `iter`/`iter_batched` —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery: warm up, calibrate an iteration count to a
+//! target measurement window, report mean time per iteration (and
+//! throughput when annotated).
+//!
+//! Output format: one line per benchmark,
+//! `name                time: 12.345 µs/iter (81.0 Kelem/s)`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimiser from deleting benchmarked
+/// work (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1000);
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to batch per measurement in
+/// [`Bencher::iter_batched`] (accepted for API compatibility; the shim
+/// always runs setup per iteration, off the clock).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Measure one closure under `name`.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), None, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_override: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and annotations.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_override: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput; subsequent benches report a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the shim sizes its own
+    /// measurement window.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_override = Some(samples);
+        self
+    }
+
+    /// Measure one closure under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_bench(&full, self.throughput, self.sample_override, &mut f);
+        self
+    }
+
+    /// Finish the group (printing is immediate; provided for API shape).
+    pub fn finish(self) {}
+}
+
+/// Measurement state for one benchmark: drives the timed loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup runs off the
+    /// clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_override: Option<usize>,
+    f: &mut F,
+) {
+    // Calibration: run single iterations until the warmup window elapses
+    // to estimate per-iteration cost.
+    let calibration_start = Instant::now();
+    let mut calibration_iters = 0u64;
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    while calibration_start.elapsed() < WARMUP {
+        f(&mut bencher);
+        calibration_iters += 1;
+        // Very slow benchmarks: one call may already exceed the window.
+        if bencher.elapsed > MEASURE {
+            report(name, bencher.elapsed, 1, throughput);
+            return;
+        }
+    }
+    let per_iter = calibration_start.elapsed() / calibration_iters.max(1) as u32;
+
+    // Measurement: one batch sized to fill the measurement window.
+    let mut iters = if per_iter.is_zero() {
+        1_000_000
+    } else {
+        (MEASURE.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000_000) as u64
+    };
+    if let Some(samples) = sample_override {
+        iters = iters.min(samples.max(1) as u64 * 4);
+    }
+    bencher.iters = iters;
+    f(&mut bencher);
+    report(name, bencher.elapsed, iters, throughput);
+}
+
+fn report(name: &str, elapsed: Duration, iters: u64, throughput: Option<Throughput>) {
+    let nanos_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = throughput.map(|t| {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 / (nanos_per_iter / 1e9);
+        format!(" ({}{unit}/s)", si(per_sec))
+    });
+    println!(
+        "{name:<48} time: {}/iter{}",
+        fmt_ns(nanos_per_iter),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+/// Define a benchmark group function calling each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+        assert!(b.elapsed > Duration::ZERO || count == 100);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x * 2,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 10);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.340 µs");
+        assert!(si(2.5e6).starts_with("2.50 M"));
+    }
+}

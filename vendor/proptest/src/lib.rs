@@ -1,0 +1,501 @@
+#![warn(missing_docs)]
+
+//! Offline vendored property-testing shim.
+//!
+//! Implements the `proptest` surface this workspace's test suites use —
+//! the [`proptest!`] macro, range/collection/sample strategies, and the
+//! `prop_assert*` family — over the workspace's vendored ChaCha12 RNG.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * no shrinking — a failure reports the case number and per-test seed
+//!   (cases are deterministic per test name, so failures replay exactly);
+//! * `PROPTEST_CASES` (default 64) controls the case count.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Outcome of one generated test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; draw new ones.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject() -> TestCaseError {
+        TestCaseError::Reject
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut ChaCha12Rng) -> Self::Value;
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut ChaCha12Rng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ChaCha12Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ChaCha12Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut ChaCha12Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut ChaCha12Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut ChaCha12Rng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A `&str` is a regex strategy generating matching `String`s, as in real
+/// proptest. Supported subset: literal characters, `[...]` classes (chars
+/// and `a-z` ranges), and `{n}` / `{m,n}` / `?` / `*` / `+` repetition of
+/// the preceding atom (unbounded repeats capped at 8).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut ChaCha12Rng) -> String {
+        let atoms = parse_regex_atoms(self);
+        let mut out = String::new();
+        for (chars, min, max) in &atoms {
+            let reps = rng.gen_range(*min..=*max);
+            for _ in 0..reps {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse a regex subset into (alternatives, min_reps, max_reps) atoms.
+fn parse_regex_atoms(pattern: &str) -> Vec<(Vec<char>, u32, u32)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alternatives = if chars[i] == '[' {
+            let close = chars[i..].iter().position(|&c| c == ']').map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated [ in regex strategy {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    for c in chars[j]..=chars[j + 2] {
+                        set.push(c);
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            assert!(!set.is_empty(), "empty class in regex strategy {pattern:?}");
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = match chars.get(i) {
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated {{ in regex strategy {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat lower bound"),
+                        hi.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push((alternatives, min, max));
+    }
+    atoms
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut ChaCha12Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A/0, B/1);
+tuple_strategy!(A/0, B/1, C/2);
+tuple_strategy!(A/0, B/1, C/2, D/3);
+tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Length bound accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        /// Minimum length, inclusive.
+        pub min: usize,
+        /// Maximum length, inclusive.
+        pub max: usize,
+    }
+
+    /// Conversions into [`SizeRange`].
+    pub trait IntoSizeRange {
+        /// Convert.
+        fn into_size_range(self) -> SizeRange;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> SizeRange {
+            SizeRange { min: self, max: self }
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> SizeRange {
+            assert!(self.start < self.end, "empty size range");
+            SizeRange { min: self.start, max: self.end - 1 }
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_size_range(self) -> SizeRange {
+            SizeRange { min: *self.start(), max: *self.end() }
+        }
+    }
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into_size_range() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut ChaCha12Rng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::*;
+
+    /// Strategy choosing uniformly from a fixed set of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: no options");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut ChaCha12Rng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Drives the generated cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: ChaCha12Rng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// Create the runner for a named test; the name seeds the generator,
+    /// so each test's case sequence is stable run to run.
+    pub fn new(test_name: &str) -> TestRunner {
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        for b in test_name.as_bytes() {
+            seed = (seed ^ *b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner { rng: ChaCha12Rng::seed_from_u64(seed), cases: default_cases() }
+    }
+
+    /// Number of accepted cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut ChaCha12Rng {
+        &mut self.rng
+    }
+
+    /// Run `body` until `cases` inputs were accepted; panics on failure.
+    pub fn run<F>(&mut self, test_name: &str, mut body: F)
+    where
+        F: FnMut(&mut ChaCha12Rng) -> Result<(), TestCaseError>,
+    {
+        let cases = self.cases;
+        let mut accepted = 0u32;
+        let mut attempts = 0u32;
+        let max_attempts = cases.saturating_mul(20).max(1000);
+        while accepted < cases {
+            attempts += 1;
+            if attempts > max_attempts {
+                panic!(
+                    "{test_name}: gave up after {attempts} attempts \
+                     ({accepted}/{cases} cases accepted) — prop_assume! rejects too much"
+                );
+            }
+            match body(&mut self.rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => continue,
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("{test_name}: property failed at case {accepted}: {message}")
+                }
+            }
+        }
+    }
+}
+
+fn default_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Everything the workspace's test files import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError, TestRunner,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`,
+    /// `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runner = $crate::TestRunner::new(stringify!($name));
+                __runner.run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+}
+
+/// Reject the current inputs; the runner draws fresh ones without
+/// counting the case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in -4i8..=4, z in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z), "z out of range: {z}");
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in prop::collection::vec(0u8..=255, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn select_picks_members(s in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&s));
+        }
+
+        #[test]
+        fn regex_strategy_matches_subset(s in "[DU]{0,8}S[a-c]+x?") {
+            let stripped: String =
+                s.chars().filter(|c| !matches!(c, 'D' | 'U' | 'a'..='c' | 'x')).collect();
+            prop_assert_eq!(stripped, "S".to_string());
+            prop_assert!(s.contains('S'));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::TestRunner::new("some_test");
+        let mut b = crate::TestRunner::new("some_test");
+        let sa: Vec<u64> = (0..8).map(|_| (0u64..1000).sample(a.rng())).collect();
+        let sb: Vec<u64> = (0..8).map(|_| (0u64..1000).sample(b.rng())).collect();
+        assert_eq!(sa, sb);
+        let mut c = crate::TestRunner::new("other_test");
+        let sc: Vec<u64> = (0..8).map(|_| (0u64..1000).sample(c.rng())).collect();
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_context() {
+        let mut runner = crate::TestRunner::new("failing");
+        runner.run("failing", |_rng| {
+            crate::prop_assert!(1 == 2);
+            Ok(())
+        });
+    }
+}

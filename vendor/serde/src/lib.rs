@@ -1,0 +1,402 @@
+#![warn(missing_docs)]
+
+//! Offline vendored serde façade.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! compact serialisation framework exposing the same surface its code
+//! uses: `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` (via the companion `serde_derive`
+//! proc-macro), consumed by the vendored `serde_json`.
+//!
+//! Instead of real serde's visitor architecture, both traits go through a
+//! single explicit [`Value`] tree. Object fields keep **declaration
+//! order** (a `Vec`, not a map), so encodings are canonical and
+//! byte-stable — the property the workspace's determinism harness
+//! (`tests/determinism.rs`) asserts on.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialised value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with fields in declaration/insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// View as an object's field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// View as an array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the serialised value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Fallback when a struct field is absent. `None` means "required"
+    /// (an error); `Option<T>` overrides this to fill in `None`, matching
+    /// serde's treatment of optional fields.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Deserialisation error: what was expected, what was found, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// A free-form error.
+    pub fn msg(message: impl Into<String>) -> DeError {
+        DeError { message: message.into() }
+    }
+
+    /// "expected X, found Y while reading Z".
+    pub fn expected(what: &str, found: &Value, context: &str) -> DeError {
+        DeError::msg(format!("expected {what}, found {} while reading {context}", found.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Look up a struct field by name during derived deserialisation,
+/// falling back to [`Deserialize::absent`] when missing.
+pub fn field<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| DeError::msg(format!("{context}.{name}: {e}"))),
+        None => T::absent()
+            .ok_or_else(|| DeError::msg(format!("missing field `{name}` in {context}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 { Value::I64(wide as i64) } else { Value::U64(wide) }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected("integer", other, stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other, "bool")),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other, "f64")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other, "String")),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other, "char")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other, "Vec")),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_array().ok_or_else(|| DeError::expected("array", value, "array"))?;
+        if items.len() != N {
+            return Err(DeError::msg(format!("expected {N} elements, got {}", items.len())));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::msg("array length mismatch after parse"))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::expected("2-element array", value, "tuple")),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(DeError::expected("3-element array", value, "tuple")),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&18446744073709551615u64.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i8::from_value(&(-5i8).to_value()).unwrap(), -5);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(<Option<u8>>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        assert_eq!(<Vec<(f64, f64)>>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [9u32, 8, 7];
+        assert_eq!(<[u32; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+
+    #[test]
+    fn absent_option_fields_fill_none() {
+        let fields: Vec<(String, Value)> = vec![];
+        let got: Option<u32> = field(&fields, "missing", "Test").unwrap();
+        assert_eq!(got, None);
+        assert!(field::<u32>(&fields, "missing", "Test").is_err());
+    }
+
+    #[test]
+    fn object_field_order_is_preserved() {
+        let obj = Value::Object(vec![
+            ("z".into(), Value::I64(1)),
+            ("a".into(), Value::I64(2)),
+        ]);
+        let keys: Vec<&str> =
+            obj.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]`.
+//!
+//! Generates impls of the vendored `serde` façade's value-tree traits.
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are equally unavailable offline). Supports exactly the shapes
+//! this workspace declares:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype style),
+//! * enums of unit variants and struct variants.
+//!
+//! Generics and `#[serde(...)]` attributes are not used anywhere in the
+//! workspace and are rejected with a compile error rather than silently
+//! mis-serialised. The JSON shape matches serde's defaults: named structs
+//! as objects in declaration order, newtypes as their inner value, unit
+//! variants as strings, struct variants as `{"Variant": {fields...}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one derive input parsed into.
+enum Input {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with N fields.
+    Tuple { name: String, arity: usize },
+    /// Enum of unit and struct variants.
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, field names for a struct variant.
+    fields: Option<Vec<String>>,
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive: generated code failed to tokenise"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("serde_derive: unsupported item `{other}`")),
+    };
+    let name = expect_ident(&tokens, &mut pos)?;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: `{name}` is generic; the vendored derive supports only concrete types"
+        ));
+    }
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            let arity = count_tuple_fields(g.stream());
+            return Ok(Input::Tuple { name, arity });
+        }
+        other => {
+            return Err(format!(
+                "serde_derive: expected body for `{name}`, found {other:?}"
+            ))
+        }
+    };
+
+    if is_enum {
+        Ok(Input::Enum { name, variants: parse_variants(body)? })
+    } else {
+        Ok(Input::Struct { name, fields: parse_named_fields(body)? })
+    }
+}
+
+/// Skip any number of `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // pub(crate), pub(super), …
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("serde_derive: expected identifier, found {other:?}")),
+    }
+}
+
+/// Field names of a named-field body: `[attrs] [vis] name: Type, ...`.
+/// Commas inside `<...>` generic arguments are skipped by depth-counting
+/// angle punctuation; tuples/arrays arrive as single groups already.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "serde_derive: expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body (top-level comma count).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut fields = 1;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would overcount; the workspace's newtypes never
+    // have one, but be safe.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        fields -= 1;
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                pos += 1;
+                Some(named)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde_derive: tuple variant `{name}` unsupported by the vendored derive"
+                ));
+            }
+            _ => None,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while let Some(tok) = tokens.get(pos) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::with_capacity({len});\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}\n",
+                len = fields.len(),
+            )
+        }
+        Input::Tuple { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__inner.push(({f:?}.to_string(), \
+                                         ::serde::Serialize::to_value({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                     let mut __inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                                         = ::std::vec::Vec::with_capacity({len});\n\
+                                     {pushes}\
+                                     ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                                         ::serde::Value::Object(__inner))])\n\
+                                 }}\n",
+                                len = fields.len(),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__obj, {f:?}, {name:?})?,\n"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", __v, {name:?}))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Input::Tuple { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                )
+            } else {
+                let gets: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v.as_array().ok_or_else(|| \
+                         ::serde::DeError::expected(\"array\", __v, {name:?}))?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::msg(\
+                             format!(\"expected {arity} elements for {name}\")));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({gets}))",
+                    gets = gets.join(", "),
+                )
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let has_unit = variants.iter().any(|v| v.fields.is_none());
+            let has_struct = variants.iter().any(|v| v.fields.is_some());
+            let mut outer_arms = String::new();
+            if has_unit {
+                let unit_arms: String = variants
+                    .iter()
+                    .filter(|v| v.fields.is_none())
+                    .map(|v| {
+                        let vname = &v.name;
+                        format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n")
+                    })
+                    .collect();
+                outer_arms.push_str(&format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n"
+                ));
+            }
+            if has_struct {
+                let struct_arms: String = variants
+                    .iter()
+                    .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                    .map(|(vname, fields)| {
+                        let ctx = format!("{name}::{vname}");
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(__inner, {f:?}, {ctx:?})?,\n"))
+                            .collect();
+                        format!(
+                            "{vname:?} => {{\n\
+                                 let __inner = __val.as_object().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"object\", __val, {ctx:?}))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                             }}\n"
+                        )
+                    })
+                    .collect();
+                outer_arms.push_str(&format!(
+                    "::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __val) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {struct_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n"
+                ));
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             {outer_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                                 \"enum variant\", __other, {name:?})),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
