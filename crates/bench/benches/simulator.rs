@@ -34,6 +34,76 @@ fn bench_channel_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole matrix: {stationary, driving} × {1, 3 sites}, each in the
+/// cached (production `step`/`step_at`) and uncached (reference) variants.
+/// Stationary workloads are where the large-scale cache pays off; driving
+/// workloads bound the cost of the per-move rebuild.
+fn bench_channel_matrix(c: &mut Criterion) {
+    type LayoutFn = fn() -> DeploymentLayout;
+    let layouts: [(&str, LayoutFn); 2] = [
+        ("1site", DeploymentLayout::single_site),
+        ("3site", DeploymentLayout::three_site_dense),
+    ];
+    for (layout_name, layout) in layouts {
+        let mut group = c.benchmark_group(format!("channel_matrix/{layout_name}"));
+        group.throughput(Throughput::Elements(10_000));
+        let make = |mobility: MobilityModel| {
+            ChannelSimulator::new(
+                ChannelConfig::midband_urban(245),
+                layout(),
+                mobility,
+                &SeedTree::new(1),
+            )
+        };
+        let spot = Position::new(60.0, 10.0);
+        group.bench_function("stationary_cached", |b| {
+            b.iter_batched(
+                || make(MobilityModel::Stationary { position: spot }),
+                |mut sim| {
+                    for _ in 0..10_000 {
+                        sim.step_at(spot, 0.0);
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("stationary_uncached", |b| {
+            b.iter_batched(
+                || make(MobilityModel::Stationary { position: spot }),
+                |mut sim| {
+                    for _ in 0..10_000 {
+                        sim.step_at_uncached(spot, 0.0);
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("driving_cached", |b| {
+            b.iter_batched(
+                || make(MobilityModel::driving_loop(Position::ORIGIN, 400.0)),
+                |mut sim| {
+                    for _ in 0..10_000 {
+                        sim.step();
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("driving_uncached", |b| {
+            b.iter_batched(
+                || make(MobilityModel::driving_loop(Position::ORIGIN, 400.0)),
+                |mut sim| {
+                    for _ in 0..10_000 {
+                        sim.step_uncached();
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}
+
 fn bench_full_session(c: &mut Criterion) {
     let mut group = c.benchmark_group("session");
     group.sample_size(10);
@@ -57,5 +127,5 @@ fn bench_full_session(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_channel_step, bench_full_session);
+criterion_group!(benches, bench_channel_step, bench_channel_matrix, bench_full_session);
 criterion_main!(benches);

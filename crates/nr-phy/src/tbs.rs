@@ -42,13 +42,11 @@ pub fn tbs_bits(n_re: u32, code_rate: f64, modulation_bits: u8, layers: u8) -> u
         let n = ((n_info.log2().floor() as i32) - 6).max(3) as u32;
         let pow = 1u64 << n;
         let quantised = (pow * (n_info as u64 / pow)).max(24);
-        // Smallest table entry ≥ quantised N'_info.
-        for &t in TBS_TABLE.iter() {
-            if t as u64 >= quantised {
-                return t;
-            }
-        }
-        3824
+        // Smallest table entry ≥ quantised N'_info (binary search — the
+        // table is sorted; quantised ≤ 3824 = TBS_TABLE[92], so the index
+        // is always in range and the fallback is defensive only).
+        let idx = TBS_TABLE.partition_point(|&t| (t as u64) < quantised);
+        TBS_TABLE.get(idx).copied().unwrap_or(3824)
     } else {
         // Step 4: large TBS formula.
         let n = ((n_info - 24.0).log2().floor() as i32 - 5).max(0) as u32;
@@ -81,6 +79,63 @@ pub fn transport_block_size(
     let Ok(rate) = table.code_rate(mcs) else { return 0 };
     let Ok(modulation) = table.modulation(mcs) else { return 0 };
     tbs_bits(alloc.tbs_re(), rate, modulation.bits_per_symbol(), layers)
+}
+
+/// Memo slots per `(n_re, table)` entry: MCS indices 0..32 × layers 1..=4.
+const MEMO_MCS: usize = 32;
+const MEMO_LAYERS: usize = 4;
+
+/// Sentinel for "not yet computed" (0 is a valid TBS result).
+const MEMO_EMPTY: u32 = u32::MAX;
+
+/// A per-carrier transport-block-size memo.
+///
+/// [`transport_block_size`] is a pure function of
+/// `(n_re, table, mcs, layers)`, and on the per-slot scheduling path those
+/// inputs cycle with the TDD pattern and the CSI period — a handful of
+/// distinct `n_re` values and a slowly-moving MCS — so hit rates are
+/// near one. Entries are keyed by `(n_re, table)` with a dense MCS×layers panel
+/// inside; a new `(n_re, table)` pair allocates once (construction /
+/// warm-up), after which lookups are allocation-free. Out-of-range inputs
+/// (MCS ≥ 32, layers 0 or > 4) fall through to the direct computation.
+#[derive(Debug, Clone, Default)]
+pub struct TbsCache {
+    entries: Vec<(u32, McsTable, Box<[u32; MEMO_MCS * MEMO_LAYERS]>)>,
+}
+
+impl TbsCache {
+    /// An empty memo.
+    pub fn new() -> Self {
+        TbsCache { entries: Vec::new() }
+    }
+
+    /// Memoised [`transport_block_size`] — bit-identical to the direct
+    /// computation for every input.
+    pub fn transport_block_size(
+        &mut self,
+        alloc: &RbAllocation,
+        table: McsTable,
+        mcs: McsIndex,
+        layers: u8,
+    ) -> u32 {
+        let (mcs_i, layers_i) = (mcs.0 as usize, layers as usize);
+        if mcs_i >= MEMO_MCS || layers_i == 0 || layers_i > MEMO_LAYERS {
+            return transport_block_size(alloc, table, mcs, layers);
+        }
+        let n_re = alloc.tbs_re();
+        let panel = match self.entries.iter_mut().find(|(r, t, _)| *r == n_re && *t == table) {
+            Some((_, _, panel)) => panel,
+            None => {
+                self.entries.push((n_re, table, Box::new([MEMO_EMPTY; MEMO_MCS * MEMO_LAYERS])));
+                &mut self.entries.last_mut().expect("just pushed").2
+            }
+        };
+        let slot = &mut panel[mcs_i * MEMO_LAYERS + (layers_i - 1)];
+        if *slot == MEMO_EMPTY {
+            *slot = transport_block_size(alloc, table, mcs, layers);
+        }
+        *slot
+    }
 }
 
 /// Convenience: TBS expressed in bytes (floor).
@@ -179,5 +234,44 @@ mod tests {
     fn out_of_table_mcs_gives_zero() {
         let alloc = RbAllocation::full_slot(100);
         assert_eq!(transport_block_size(&alloc, McsTable::Qam256, McsIndex(31), 4), 0);
+    }
+
+    #[test]
+    fn partition_point_matches_linear_scan() {
+        // The binary search must agree with the original linear scan
+        // ("smallest table entry ≥ quantised N'_info") for the whole
+        // quantised domain of the ≤3824 branch.
+        for q in 1u64..=3824 {
+            let scan = TBS_TABLE.iter().copied().find(|&t| t as u64 >= q).unwrap_or(3824);
+            let idx = TBS_TABLE.partition_point(|&t| (t as u64) < q);
+            let binary = TBS_TABLE.get(idx).copied().unwrap_or(3824);
+            assert_eq!(binary, scan, "N'_info = {q}");
+        }
+    }
+
+    #[test]
+    fn memoised_tbs_matches_direct() {
+        let mut cache = TbsCache::new();
+        for n_prb in [1u16, 52, 106, 245, 273] {
+            let alloc = RbAllocation::full_slot(n_prb);
+            for table in [McsTable::Qam64, McsTable::Qam256, McsTable::Qam64LowSe] {
+                for mcs in 0..32u8 {
+                    for layers in 0..=5u8 {
+                        let direct =
+                            transport_block_size(&alloc, table, McsIndex(mcs), layers);
+                        // Twice: the miss path and the hit path.
+                        for _ in 0..2 {
+                            let memo = cache.transport_block_size(
+                                &alloc,
+                                table,
+                                McsIndex(mcs),
+                                layers,
+                            );
+                            assert_eq!(memo, direct, "{n_prb} PRB mcs {mcs} ν{layers}");
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -41,6 +41,43 @@ proptest! {
         prop_assert!(f64::from(base) <= n_info * (1.0 + 1.0 / 60.0) + 3900.0);
     }
 
+    /// The per-carrier TBS memo is bit-identical to the direct §5.1.3.2
+    /// computation across random allocations, MCS tables, MCS indices,
+    /// and layer counts — including the out-of-range inputs that bypass
+    /// the memo and repeated queries that hit it.
+    #[test]
+    fn memoised_tbs_bit_identical_to_direct(
+        table in prop::sample::select(vec![
+            McsTable::Qam64,
+            McsTable::Qam256,
+            McsTable::Qam64LowSe,
+        ]),
+        queries in prop::collection::vec(
+            (1u16..=273, 1u8..=14, 0u8..=34, 0u8..=5),
+            1..100,
+        ),
+    ) {
+        let mut memo = nr_phy::tbs::TbsCache::new();
+        for (n_prb, n_symbols, mcs, layers) in queries {
+            let alloc = RbAllocation {
+                n_prb,
+                n_symbols,
+                dmrs_re_per_prb: 24,
+                overhead_re_per_prb: 12,
+            };
+            let direct = transport_block_size(&alloc, table, McsIndex(mcs), layers);
+            // Ask twice so both the fill and the hit path are checked.
+            prop_assert_eq!(
+                memo.transport_block_size(&alloc, table, McsIndex(mcs), layers),
+                direct
+            );
+            prop_assert_eq!(
+                memo.transport_block_size(&alloc, table, McsIndex(mcs), layers),
+                direct
+            );
+        }
+    }
+
     /// Large transport blocks always come out byte-aligned after CRC
     /// (the (TBS + 24) % 8 == 0 rule of the segmentation arms).
     #[test]

@@ -13,7 +13,7 @@ use crate::mobility::{MobilityModel, MobilityState};
 use crate::pathloss::PathLossModel;
 use crate::rng::SeedTree;
 use crate::shadowing::{ShadowingConfig, ShadowingProcess};
-use crate::signal::{RadioMeasurement, SignalConfig};
+use crate::signal::{NoiseTerms, RadioMeasurement, SignalConfig};
 use serde::{Deserialize, Serialize};
 
 /// Static description of a radio environment for one carrier.
@@ -126,6 +126,23 @@ pub struct ChannelSimulator {
     blockage: BlockageProcess,
     slot: u64,
     serving_idx: Option<usize>,
+    /// Position the `large_scale` entries were computed for. `None` until
+    /// the first slot and after a layout swap.
+    cache_position: Option<Position>,
+    /// Per-site cached large-scale terms for `cache_position`:
+    /// `(site id, ((tx_per_re − path loss) − sector) dBm, 2D distance m)`.
+    /// Pure functions of position and configuration — never of RNG state —
+    /// so reuse while the UE is stationary cannot perturb any stream.
+    large_scale: Vec<(u32, f64, f64)>,
+    /// Scratch: per-site `(site id, received per-RE power, 2D distance)`
+    /// for the current slot (cache + shadowing). Reused across slots.
+    rx: Vec<(u32, f64, f64)>,
+    /// Scratch: non-serving per-RE powers for the current slot.
+    interferers: Vec<f64>,
+    /// Config-constant linear-domain noise/background terms, hoisted out
+    /// of the per-slot measurement arithmetic (bit-exact: deterministic
+    /// functions of the configuration).
+    noise_terms: NoiseTerms,
 }
 
 impl ChannelSimulator {
@@ -149,6 +166,7 @@ impl ChannelSimulator {
             .iter()
             .map(|s| ShadowingProcess::new(config.shadowing, seeds, &format!("site{}", s.id)))
             .collect();
+        let n_sites = layout.sites.len();
         ChannelSimulator {
             fading: FadingProcess::new(fading_cfg, seeds, "serving"),
             blockage: BlockageProcess::new(config.blockage, seeds, "serving"),
@@ -158,7 +176,31 @@ impl ChannelSimulator {
             shadow,
             slot: 0,
             serving_idx: None,
+            cache_position: None,
+            large_scale: Vec::with_capacity(n_sites),
+            rx: Vec::with_capacity(n_sites),
+            interferers: Vec::with_capacity(n_sites.saturating_sub(1)),
+            noise_terms: config.signal.noise_terms(),
         }
+    }
+
+    /// Swap the deployment layout mid-session (re-cloning scenarios,
+    /// coverage sweeps). Rebuilds the per-site shadowing processes from
+    /// `seeds`, drops the cached large-scale terms, and — crucially —
+    /// resets the serving-cell state: the old `serving_idx` indexed the
+    /// *previous* site list, and when the new layout has at least as many
+    /// sites the `cur < rx.len()` hysteresis guard alone would let the
+    /// stale index silently survive, pinning the UE to an arbitrary site.
+    pub fn set_layout(&mut self, layout: DeploymentLayout, seeds: &SeedTree) {
+        self.shadow = layout
+            .sites
+            .iter()
+            .map(|s| ShadowingProcess::new(self.config.shadowing, seeds, &format!("site{}", s.id)))
+            .collect();
+        self.layout = layout;
+        self.serving_idx = None;
+        self.cache_position = None;
+        self.large_scale.clear();
     }
 
     /// The static configuration.
@@ -181,7 +223,104 @@ impl ChannelSimulator {
     /// Advance one slot with an externally-supplied position (used when
     /// several component carriers share one UE: the CA driver advances
     /// mobility once and steps every carrier's channel at that position).
+    ///
+    /// Allocation-free in steady state: per-site path loss and sector
+    /// attenuation are cached until the position changes (stationary UEs —
+    /// most campaign sessions — pay only the shadowing/fading advance),
+    /// and the per-site receive vector lives in reusable scratch buffers.
+    /// Bit-identical to [`ChannelSimulator::step_at_uncached`]: the cached
+    /// terms are pure functions of position/config, the RNG-consuming
+    /// processes advance every slot in unchanged order, and the float
+    /// expression tree `((tx − pl) − sector) + sh` is preserved exactly.
     pub fn step_at(&mut self, position: Position, moved_m: f64) -> ChannelState {
+        let slot = self.slot;
+        self.slot += 1;
+        let moved = moved_m;
+
+        // Large-scale deterministic terms, recomputed only on movement.
+        if self.cache_position != Some(position) {
+            self.large_scale.clear();
+            for site in self.layout.sites.iter() {
+                let pl = self.config.pathloss.loss_db(site.distance_3d(&position));
+                let sector = site.sector_attenuation_db(&position);
+                let base = self.config.signal.tx_per_re_dbm(site.tx_power_dbm) - pl - sector;
+                self.large_scale.push((site.id, base, site.position.distance_to(&position)));
+            }
+            self.cache_position = Some(position);
+        }
+        // Stochastic shadowing on top: advances (and draws) every slot for
+        // every site, cached or not — caching must never skip an RNG draw.
+        let rx = &mut self.rx;
+        rx.clear();
+        for (&(id, base, dist), shadow) in
+            self.large_scale.iter().zip(self.shadow.iter_mut())
+        {
+            let sh = shadow.advance_with_time(moved, self.config.slot_s);
+            rx.push((id, base + sh, dist));
+        }
+        // Serving-cell selection with A3-style hysteresis: stick with the
+        // current cell until a neighbour beats it by the configured margin
+        // (RRC signalling costs are modelled separately in the RAN layer).
+        let (best_idx, _) = rx
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("powers are finite"))
+            .expect("layout is non-empty");
+        let serving_idx = match self.serving_idx {
+            Some(cur) if cur < rx.len() => {
+                if rx[best_idx].1 > rx[cur].1 + self.config.handover_hysteresis_db {
+                    best_idx
+                } else {
+                    cur
+                }
+            }
+            _ => best_idx,
+        };
+        self.serving_idx = Some(serving_idx);
+        let (serving_site, serving_re_dbm, serving_distance_m) = rx[serving_idx];
+        self.interferers.clear();
+        for (i, &(_, p, _)) in rx.iter().enumerate() {
+            if i != serving_idx {
+                self.interferers.push(p);
+            }
+        }
+
+        let measurement = RadioMeasurement::compute_with_terms(
+            &self.config.signal,
+            &self.noise_terms,
+            serving_re_dbm,
+            &self.interferers,
+        );
+
+        // Small-scale on top of the mean SINR.
+        let fading_db = self.fading.advance_slot();
+        let blockage_db = self.blockage.advance(self.config.slot_s, moved);
+        let sinr_db =
+            measurement.sinr_db + self.config.sinr_offset_db + fading_db - blockage_db;
+
+        ChannelState {
+            slot,
+            position,
+            serving_site,
+            serving_distance_m,
+            measurement: RadioMeasurement {
+                sinr_db: measurement.sinr_db + self.config.sinr_offset_db,
+                ..measurement
+            },
+            sinr_db,
+            blocked: blockage_db > 0.0,
+        }
+    }
+
+    /// The pre-optimisation reference implementation of [`step_at`]:
+    /// recomputes every large-scale term, every process coefficient
+    /// (shadowing ρ, fading ρ/σ, noise terms) and heap-allocates the
+    /// per-site vectors each slot. Kept verbatim so property tests can
+    /// assert the cached path is bit-identical and so `perf_baseline` can
+    /// record the uncached slots/sec alongside the cached number.
+    ///
+    /// [`step_at`]: ChannelSimulator::step_at
+    pub fn step_at_uncached(&mut self, position: Position, moved_m: f64) -> ChannelState {
         let slot = self.slot;
         self.slot += 1;
         let moved = moved_m;
@@ -189,15 +328,12 @@ impl ChannelSimulator {
         // Large-scale: per-site received per-RE power.
         let mut rx: Vec<(u32, f64, f64)> = Vec::with_capacity(self.layout.sites.len());
         for (site, shadow) in self.layout.sites.iter().zip(self.shadow.iter_mut()) {
-            let sh = shadow.advance_with_time(moved, self.config.slot_s);
+            let sh = shadow.advance_with_time_uncached(moved, self.config.slot_s);
             let pl = self.config.pathloss.loss_db(site.distance_3d(&position));
             let sector = site.sector_attenuation_db(&position);
             let p = self.config.signal.tx_per_re_dbm(site.tx_power_dbm) - pl - sector + sh;
             rx.push((site.id, p, site.position.distance_to(&position)));
         }
-        // Serving-cell selection with A3-style hysteresis: stick with the
-        // current cell until a neighbour beats it by the configured margin
-        // (RRC signalling costs are modelled separately in the RAN layer).
         let (best_idx, _) = rx
             .iter()
             .enumerate()
@@ -225,8 +361,7 @@ impl ChannelSimulator {
         let measurement =
             RadioMeasurement::compute(&self.config.signal, serving_re_dbm, &interferers);
 
-        // Small-scale on top of the mean SINR.
-        let fading_db = self.fading.advance_slot();
+        let fading_db = self.fading.advance_slot_uncached();
         let blockage_db = self.blockage.advance(self.config.slot_s, moved);
         let sinr_db =
             measurement.sinr_db + self.config.sinr_offset_db + fading_db - blockage_db;
@@ -243,6 +378,16 @@ impl ChannelSimulator {
             sinr_db,
             blocked: blockage_db > 0.0,
         }
+    }
+
+    /// Advance one slot through the uncached reference path using the
+    /// internal mobility model (the uncached counterpart of [`step`]).
+    ///
+    /// [`step`]: ChannelSimulator::step
+    pub fn step_uncached(&mut self) -> ChannelState {
+        let moved = self.mobility.advance(self.config.slot_s);
+        let position = self.mobility.position();
+        self.step_at_uncached(position, moved)
     }
 }
 
@@ -425,5 +570,61 @@ mod tests {
             assert_eq!(sa.sinr_db, sb.sinr_db);
             assert_eq!(sa.serving_site, sb.serving_site);
         }
+    }
+
+    #[test]
+    fn cached_step_bit_identical_to_uncached() {
+        // Driving route: the cache recomputes every slot; stationary tail:
+        // the cache hits every slot. Both must match the reference exactly.
+        let mk = || {
+            sim(
+                DeploymentLayout::three_site_dense(),
+                MobilityModel::walking(Position::ORIGIN, 100.0),
+                9,
+            )
+        };
+        let mut cached = mk();
+        let mut reference = mk();
+        for _ in 0..2000 {
+            assert_eq!(cached.step(), reference.step_uncached());
+        }
+        let pos = Position::new(55.0, -20.0);
+        for _ in 0..2000 {
+            assert_eq!(cached.step_at(pos, 0.0), reference.step_at_uncached(pos, 0.0));
+        }
+    }
+
+    #[test]
+    fn layout_swap_resets_serving_state() {
+        // Start served by the only nearby site of layout A, then swap in a
+        // same-size layout whose site 1 is far away and site 2 is adjacent.
+        // Without the reset, the stale serving_idx (0) passes the
+        // `cur < rx.len()` guard and hysteresis pins the UE to the distant
+        // site 1; after `set_layout` the first step must re-select freshly.
+        let pos = Position::new(40.0, 0.0);
+        let seeds = SeedTree::new(11);
+        let layout_a = DeploymentLayout::new(vec![
+            GnbSite::macro_site(1, Position::new(50.0, 0.0)),
+            GnbSite::macro_site(2, Position::new(-2000.0, 0.0)),
+        ]);
+        let mut s = ChannelSimulator::new(
+            ChannelConfig::midband_urban(245),
+            layout_a,
+            MobilityModel::Stationary { position: pos },
+            &seeds,
+        );
+        for _ in 0..50 {
+            assert_eq!(s.step_at(pos, 0.0).serving_site, 1);
+        }
+        let layout_b = DeploymentLayout::new(vec![
+            GnbSite::macro_site(1, Position::new(-2000.0, 0.0)),
+            GnbSite::macro_site(2, Position::new(50.0, 0.0)),
+        ]);
+        s.set_layout(layout_b, &seeds);
+        assert_eq!(
+            s.step_at(pos, 0.0).serving_site,
+            2,
+            "stale serving index must not survive a layout swap"
+        );
     }
 }

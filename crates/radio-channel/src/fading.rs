@@ -72,6 +72,12 @@ pub struct FadingProcess {
     config: FadingConfig,
     rng: ChaCha12Rng,
     current_db: f64,
+    /// Hoisted AR(1) coefficient (`config.slot_rho()`); pure function of
+    /// the config, refreshed by [`FadingProcess::set_speed`].
+    rho: f64,
+    /// Hoisted innovation gain `sqrt(1 − ρ²) · σ`, same association as the
+    /// inline expression so the update stays bit-identical.
+    gain: f64,
 }
 
 impl FadingProcess {
@@ -79,7 +85,9 @@ impl FadingProcess {
     pub fn new(config: FadingConfig, seeds: &SeedTree, link_label: &str) -> Self {
         let mut rng = seeds.stream(&format!("fading/{link_label}"));
         let current_db = gaussian(&mut rng) * config.sigma_db();
-        FadingProcess { config, rng, current_db }
+        let rho = config.slot_rho();
+        let gain = (1.0 - rho * rho).sqrt() * config.sigma_db();
+        FadingProcess { config, rng, current_db, rho, gain }
     }
 
     /// Current fading value in dB (zero-mean).
@@ -91,10 +99,24 @@ impl FadingProcess {
     /// keeps the current state so the process stays continuous.
     pub fn set_speed(&mut self, speed_mps: f64) {
         self.config.speed_mps = speed_mps;
+        self.rho = self.config.slot_rho();
+        self.gain = (1.0 - self.rho * self.rho).sqrt() * self.config.sigma_db();
     }
 
     /// Advance by one slot and return the new value in dB.
     pub fn advance_slot(&mut self) -> f64 {
+        let w = gaussian(&mut self.rng);
+        self.current_db = self.rho * self.current_db + self.gain * w;
+        self.current_db
+    }
+
+    /// The pre-optimisation [`advance_slot`]: recomputes ρ (`exp`) and σ
+    /// (`powf`, `sqrt`) every slot instead of using the hoisted
+    /// coefficients. Bit-identical to [`advance_slot`]; kept as the
+    /// reference the `perf_baseline` uncached lane measures.
+    ///
+    /// [`advance_slot`]: FadingProcess::advance_slot
+    pub fn advance_slot_uncached(&mut self) -> f64 {
         let rho = self.config.slot_rho();
         let sigma = self.config.sigma_db();
         let w = gaussian(&mut self.rng);

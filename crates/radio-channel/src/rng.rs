@@ -43,6 +43,18 @@ impl SeedTree {
     pub fn stream(&self, label: &str) -> ChaCha12Rng {
         ChaCha12Rng::seed_from_u64(mix(self.root, label))
     }
+
+    /// Open the labelled stream for a `&'static str` label.
+    ///
+    /// Yields exactly the stream [`stream`](SeedTree::stream) would for
+    /// the same bytes — the point of the separate entry is the call-site
+    /// contract: a static label carries no hidden `format!`/`String`
+    /// construction, so hot constructors (one per carrier, per site, per
+    /// session) can open streams without touching the heap. Prefer this
+    /// wherever the label is known at compile time.
+    pub fn stream_static(&self, label: &'static str) -> ChaCha12Rng {
+        self.stream(label)
+    }
 }
 
 /// FNV-1a style mixing of a seed with a label — cheap, stable across
@@ -91,6 +103,14 @@ mod tests {
         let a: u64 = c1.stream("x").gen();
         let b: u64 = c2.stream("x").gen();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn static_stream_matches_dynamic() {
+        let t = SeedTree::new(99);
+        let a: u64 = t.stream_static("carrier0/bler").gen();
+        let b: u64 = t.stream(&format!("carrier{}/bler", 0)).gen();
+        assert_eq!(a, b, "stream_static must be label-byte compatible");
     }
 
     #[test]

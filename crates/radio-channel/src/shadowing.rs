@@ -42,6 +42,15 @@ pub struct ShadowingProcess {
     config: ShadowingConfig,
     rng: ChaCha12Rng,
     current_db: f64,
+    /// Memoised step distance of the last advance. Slot loops advance by a
+    /// constant distance (speed × slot), so `exp`/`sqrt` below hit this
+    /// memo nearly every slot. NaN compares unequal → first call misses.
+    memo_delta_m: f64,
+    /// `exp(−Δd/d_corr)` for `memo_delta_m`.
+    memo_rho: f64,
+    /// `sqrt(1 − ρ²)` for `memo_delta_m` (the σ factor stays in the
+    /// innovation term so the float association is unchanged).
+    memo_decay: f64,
 }
 
 impl ShadowingProcess {
@@ -49,7 +58,14 @@ impl ShadowingProcess {
     pub fn new(config: ShadowingConfig, seeds: &SeedTree, link_label: &str) -> Self {
         let mut rng = seeds.stream(&format!("shadowing/{link_label}"));
         let current_db = gaussian(&mut rng) * config.sigma_db;
-        ShadowingProcess { config, rng, current_db }
+        ShadowingProcess {
+            config,
+            rng,
+            current_db,
+            memo_delta_m: f64::NAN,
+            memo_rho: f64::NAN,
+            memo_decay: f64::NAN,
+        }
     }
 
     /// Current shadowing value in dB (zero-mean).
@@ -64,9 +80,14 @@ impl ShadowingProcess {
     /// discrete update. A zero move keeps the value unchanged.
     pub fn advance(&mut self, delta_m: f64) -> f64 {
         if delta_m > 0.0 {
-            let rho = (-delta_m / self.config.decorrelation_m).exp();
+            if delta_m != self.memo_delta_m {
+                let rho = (-delta_m / self.config.decorrelation_m).exp();
+                self.memo_delta_m = delta_m;
+                self.memo_rho = rho;
+                self.memo_decay = (1.0 - rho * rho).sqrt();
+            }
             let innovation = gaussian(&mut self.rng) * self.config.sigma_db;
-            self.current_db = rho * self.current_db + (1.0 - rho * rho).sqrt() * innovation;
+            self.current_db = self.memo_rho * self.current_db + self.memo_decay * innovation;
         }
         self.current_db
     }
@@ -77,6 +98,30 @@ impl ShadowingProcess {
     pub fn advance_with_time(&mut self, delta_m: f64, dt_s: f64) -> f64 {
         let effective = delta_m.max(self.config.env_speed_mps * dt_s);
         self.advance(effective)
+    }
+
+    /// The pre-optimisation [`advance`]: recomputes `exp`/`sqrt` every
+    /// call instead of memoising them. Bit-identical to [`advance`] (same
+    /// expressions, same RNG draws); kept as the reference the
+    /// `perf_baseline` uncached lane measures.
+    ///
+    /// [`advance`]: ShadowingProcess::advance
+    pub fn advance_uncached(&mut self, delta_m: f64) -> f64 {
+        if delta_m > 0.0 {
+            let rho = (-delta_m / self.config.decorrelation_m).exp();
+            let innovation = gaussian(&mut self.rng) * self.config.sigma_db;
+            self.current_db = rho * self.current_db + (1.0 - rho * rho).sqrt() * innovation;
+        }
+        self.current_db
+    }
+
+    /// The pre-optimisation [`advance_with_time`] (see
+    /// [`ShadowingProcess::advance_uncached`]).
+    ///
+    /// [`advance_with_time`]: ShadowingProcess::advance_with_time
+    pub fn advance_with_time_uncached(&mut self, delta_m: f64, dt_s: f64) -> f64 {
+        let effective = delta_m.max(self.config.env_speed_mps * dt_s);
+        self.advance_uncached(effective)
     }
 }
 

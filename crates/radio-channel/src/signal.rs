@@ -75,6 +75,26 @@ impl SignalConfig {
     pub fn tx_per_re_dbm(&self, tx_power_dbm: f64) -> f64 {
         tx_power_dbm - 10.0 * (self.n_rb as f64 * 12.0).log10()
     }
+
+    /// Precompute the linear-domain constants of
+    /// [`RadioMeasurement::compute`] — pure functions of the configuration,
+    /// so hoisting them out of the per-slot loop is bit-exact.
+    pub fn noise_terms(&self) -> NoiseTerms {
+        NoiseTerms {
+            background_mw: dbm_to_mw(self.background_interference_dbm),
+            noise_mw: dbm_to_mw(self.noise_per_re_dbm()),
+        }
+    }
+}
+
+/// The config-constant linear-domain terms of the measurement arithmetic,
+/// hoisted out of the hot loop (two `powf` and a `log10` per slot).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseTerms {
+    /// `dbm_to_mw(background_interference_dbm)`.
+    pub background_mw: f64,
+    /// `dbm_to_mw(noise_per_re_dbm())`.
+    pub noise_mw: f64,
 }
 
 /// A complete signal measurement at one UE position/instant.
@@ -99,11 +119,25 @@ impl RadioMeasurement {
         serving_re_dbm: f64,
         interferer_re_dbm: &[f64],
     ) -> RadioMeasurement {
+        Self::compute_with_terms(config, &config.noise_terms(), serving_re_dbm, interferer_re_dbm)
+    }
+
+    /// [`compute`] with the config-constant noise terms supplied by the
+    /// caller (hot loops precompute them once per simulator). Bit-identical
+    /// to [`compute`]: the terms are deterministic functions of `config`.
+    ///
+    /// [`compute`]: RadioMeasurement::compute
+    pub fn compute_with_terms(
+        config: &SignalConfig,
+        terms: &NoiseTerms,
+        serving_re_dbm: f64,
+        interferer_re_dbm: &[f64],
+    ) -> RadioMeasurement {
         let s = dbm_to_mw(serving_re_dbm);
         let i: f64 = interferer_re_dbm.iter().map(|&d| dbm_to_mw(d)).sum::<f64>()
             * config.neighbor_load
-            + dbm_to_mw(config.background_interference_dbm);
-        let n = dbm_to_mw(config.noise_per_re_dbm());
+            + terms.background_mw;
+        let n = terms.noise_mw;
 
         let rsrp_dbm = serving_re_dbm;
         // RSSI over one RB's 12 REs: serving load + neighbour load + noise.

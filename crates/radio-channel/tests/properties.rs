@@ -107,6 +107,44 @@ proptest! {
         }
     }
 
+    /// The cached `step_at` is bit-identical to the uncached reference for
+    /// arbitrary position sequences: revisited anchors exercise the
+    /// large-scale cache hit path, fresh anchors force rebuilds, and the
+    /// reported movement varies independently of the position (the CA
+    /// drivers do exactly this).
+    #[test]
+    fn cached_step_at_bit_identical_to_uncached(
+        seed in 0u64..1000,
+        anchors in prop::collection::vec(
+            (-400.0f64..400.0, -400.0f64..400.0),
+            1..5,
+        ),
+        steps in prop::collection::vec((0usize..8, 0.0f64..2.0), 1..80),
+        mmwave in 0u8..2,
+    ) {
+        let config = if mmwave == 1 {
+            ChannelConfig::mmwave_urban(264)
+        } else {
+            ChannelConfig::midband_urban(245)
+        };
+        let mk = || ChannelSimulator::new(
+            config,
+            DeploymentLayout::three_site_dense(),
+            MobilityModel::Stationary { position: Position::ORIGIN },
+            &SeedTree::new(seed),
+        );
+        let mut cached = mk();
+        let mut reference = mk();
+        for (i, moved) in steps {
+            let (x, y) = anchors[i % anchors.len()];
+            let pos = Position::new(x, y);
+            prop_assert_eq!(
+                cached.step_at(pos, moved),
+                reference.step_at_uncached(pos, moved)
+            );
+        }
+    }
+
     /// The link model's BLER is a valid probability, decreasing in SINR.
     #[test]
     fn bler_is_probability(sinr in -20.0f64..45.0, mcs in 0u8..28) {

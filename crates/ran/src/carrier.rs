@@ -9,10 +9,10 @@ use crate::amc::{AmcState, OllaConfig};
 use crate::config::CellConfig;
 use crate::harq::{HarqConfig, HarqEntity};
 use crate::kpi::{Direction, SlotKpi};
-use crate::scheduler::{dl_allocation, ul_allocation};
+use crate::scheduler::AllocationTable;
 use crate::traffic::{TrafficSource, TrafficState};
 use nr_phy::csi::DEFAULT_CSI_PERIOD_SLOTS;
-use nr_phy::tbs::transport_block_size;
+use nr_phy::tbs::TbsCache;
 use radio_channel::channel::{ChannelSimulator, ChannelState};
 use radio_channel::geometry::Position;
 use radio_channel::link::LinkModel;
@@ -49,10 +49,27 @@ pub struct CarrierSlotOutput {
     pub channel: ChannelState,
 }
 
+/// Stream labels for the first few carrier indices, so the common case
+/// opens its BLER stream without a `format!` allocation. The bytes match
+/// `format!("carrier{index}/bler")` exactly — labels key RNG streams, so
+/// they must never drift.
+const CARRIER_BLER_LABELS: [&str; 8] = [
+    "carrier0/bler",
+    "carrier1/bler",
+    "carrier2/bler",
+    "carrier3/bler",
+    "carrier4/bler",
+    "carrier5/bler",
+    "carrier6/bler",
+    "carrier7/bler",
+];
+
 /// One component carrier bound to one UE.
 #[derive(Debug, Clone)]
 pub struct Carrier {
-    /// Cell configuration (public: profiles and tests inspect it).
+    /// Cell configuration (public: profiles and tests inspect it; callers
+    /// that mutate TDD/bandwidth fields after construction must call
+    /// [`Carrier::rebuild_allocation_table`]).
     pub cfg: CellConfig,
     index: u8,
     channel: ChannelSimulator,
@@ -67,6 +84,11 @@ pub struct Carrier {
     csi_period: u64,
     ewma_sinr_db: f64,
     prev_rank: u8,
+    /// Per-TDD-cycle RB allocations at full share (the single-UE case).
+    alloc_table: AllocationTable,
+    /// Memoised §5.1.3.2 TBS results (inputs cycle with the TDD pattern
+    /// and CSI period; DL and UL share the memo — `n_re` disambiguates).
+    tbs_cache: TbsCache,
 }
 
 impl Carrier {
@@ -79,6 +101,11 @@ impl Carrier {
         link: LinkModel,
         seeds: &SeedTree,
     ) -> Self {
+        let rng = match CARRIER_BLER_LABELS.get(index as usize) {
+            Some(&label) => seeds.stream_static(label),
+            None => seeds.stream(&format!("carrier{index}/bler")),
+        };
+        let alloc_table = AllocationTable::new(&cfg, 1.0, 1.0);
         Carrier {
             cfg,
             index,
@@ -89,12 +116,22 @@ impl Carrier {
             ul_harq: HarqEntity::new(HarqConfig::default()),
             dl_traffic: TrafficState::new(TrafficSource::FullBuffer, seeds, "dl"),
             ul_traffic: TrafficState::new(TrafficSource::FullBuffer, seeds, "ul"),
-            rng: seeds.stream(&format!("carrier{index}/bler")),
+            rng,
             slot: 0,
             csi_period: DEFAULT_CSI_PERIOD_SLOTS,
             ewma_sinr_db: 15.0,
             prev_rank: 2,
+            alloc_table,
+            tbs_cache: TbsCache::new(),
         }
+    }
+
+    /// Recompute the precomputed allocation table (and drop the TBS memo)
+    /// after a post-construction `cfg` mutation that changes the TDD
+    /// pattern, bandwidth, or UL RB fraction.
+    pub fn rebuild_allocation_table(&mut self) {
+        self.alloc_table = AllocationTable::new(&self.cfg, 1.0, 1.0);
+        self.tbs_cache = TbsCache::new();
     }
 
     /// Replace the DL traffic source (default: full buffer). `seeds`
@@ -196,7 +233,7 @@ impl Carrier {
             )
         };
 
-        let ul = if self.cfg.ul_symbols(slot) > 0 {
+        let ul = if self.alloc_table.has_ul(slot) {
             Some(if traffic.ul && ul_on_nr && self.ul_traffic.has_data() {
                 self.ul_step(slot, time_s, cqi, &ch, ul_share)
             } else {
@@ -227,7 +264,7 @@ impl Carrier {
         ch: &ChannelState,
         share: f64,
     ) -> SlotKpi {
-        let alloc = dl_allocation(&self.cfg, slot, share);
+        let alloc = self.alloc_table.dl(&self.cfg, slot, share);
         // No DL symbols this slot, or the UE reported out-of-range (CQI 0):
         // nothing is scheduled (a real gNB cannot close the link either).
         let (Some(alloc), false) = (alloc, cqi == 0) else {
@@ -253,7 +290,8 @@ impl Carrier {
         let (tbs_bits, attempts, is_retx) = match self.dl_harq.pop_ready(slot) {
             Some(tb) => (tb.tbs_bits, tb.attempts + 1, true),
             None => {
-                let full = transport_block_size(&alloc, table, grant.mcs, grant.layers);
+                let full =
+                    self.tbs_cache.transport_block_size(&alloc, table, grant.mcs, grant.layers);
                 (self.dl_traffic.consume(full), 1, false)
             }
         };
@@ -297,7 +335,7 @@ impl Carrier {
         ch: &ChannelState,
         share: f64,
     ) -> SlotKpi {
-        let alloc = ul_allocation(&self.cfg, slot, share)
+        let alloc = self.alloc_table.ul(&self.cfg, slot, share)
             .expect("caller checked ul_symbols > 0");
         if cqi == 0 {
             return SlotKpi::idle(
@@ -319,7 +357,8 @@ impl Carrier {
         let (tbs_bits, attempts, is_retx) = match self.ul_harq.pop_ready(slot) {
             Some(tb) => (tb.tbs_bits, tb.attempts + 1, true),
             None => {
-                let full = transport_block_size(&alloc, table, grant.mcs, grant.layers);
+                let full =
+                    self.tbs_cache.transport_block_size(&alloc, table, grant.mcs, grant.layers);
                 (self.ul_traffic.consume(full), 1, false)
             }
         };

@@ -50,9 +50,13 @@ pub struct HarqEntity {
 }
 
 impl HarqEntity {
-    /// New entity.
+    /// New entity. The pending queue is bounded in practice by the number
+    /// of failures inside one HARQ round trip (at most one grant fails per
+    /// slot, and each retransmission opportunity drains one), so reserving
+    /// a small capacity up front keeps the per-slot path allocation-free.
     pub fn new(config: HarqConfig) -> Self {
-        HarqEntity { config, pending: VecDeque::new(), dropped: 0 }
+        let capacity = (config.rtt_slots as usize * 2).clamp(16, 256);
+        HarqEntity { config, pending: VecDeque::with_capacity(capacity), dropped: 0 }
     }
 
     /// The configuration.

@@ -114,6 +114,13 @@ impl KpiTrace {
         KpiTrace { records: Vec::new() }
     }
 
+    /// Create an empty trace with room for `capacity` records, so
+    /// multi-minute sessions (hundreds of thousands of records) append
+    /// without reallocating mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        KpiTrace { records: Vec::with_capacity(capacity) }
+    }
+
     /// Append a record.
     pub fn push(&mut self, kpi: SlotKpi) {
         self.records.push(kpi);

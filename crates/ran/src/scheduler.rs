@@ -69,6 +69,65 @@ pub fn ul_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAlloca
     })
 }
 
+/// Precomputed per-TDD-cycle allocations for one (cell, share) pair.
+///
+/// [`dl_allocation`]/[`ul_allocation`] are pure functions of
+/// `(cfg, slot % pattern_len, share)` — the TDD pattern repeats every
+/// `pattern_len` slots (period 1 for FDD) — so a [`crate::carrier::Carrier`]
+/// computes one cycle up front and indexes per slot instead of re-deriving
+/// symbol counts and PRB rounding 2000 times a second. Lookups for a
+/// different share than the table was built for (the multi-UE drivers pass
+/// per-slot splits) fall through to the direct computation, which is
+/// allocation-free either way.
+#[derive(Debug, Clone)]
+pub struct AllocationTable {
+    period: u64,
+    dl_share: f64,
+    ul_share: f64,
+    dl: Vec<Option<RbAllocation>>,
+    ul: Vec<Option<RbAllocation>>,
+}
+
+impl AllocationTable {
+    /// Precompute one TDD cycle of DL/UL allocations at the given shares.
+    pub fn new(cfg: &CellConfig, dl_share: f64, ul_share: f64) -> Self {
+        let period = cfg.tdd.as_ref().map(|p| p.len() as u64).unwrap_or(1).max(1);
+        AllocationTable {
+            period,
+            dl_share,
+            ul_share,
+            dl: (0..period).map(|s| dl_allocation(cfg, s, dl_share)).collect(),
+            ul: (0..period).map(|s| ul_allocation(cfg, s, ul_share)).collect(),
+        }
+    }
+
+    /// DL allocation for `slot`, bit-identical to
+    /// `dl_allocation(cfg, slot, share)`.
+    pub fn dl(&self, cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAllocation> {
+        if share == self.dl_share {
+            self.dl[(slot % self.period) as usize]
+        } else {
+            dl_allocation(cfg, slot, share)
+        }
+    }
+
+    /// UL allocation for `slot`, bit-identical to
+    /// `ul_allocation(cfg, slot, share)`.
+    pub fn ul(&self, cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAllocation> {
+        if share == self.ul_share {
+            self.ul[(slot % self.period) as usize]
+        } else {
+            ul_allocation(cfg, slot, share)
+        }
+    }
+
+    /// Whether `slot` carries any UL symbols (share-independent: presence
+    /// only depends on the pattern's symbol counts).
+    pub fn has_ul(&self, slot: u64) -> bool {
+        self.ul[(slot % self.period) as usize].is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +178,27 @@ mod tests {
     fn allocation_never_zero_prbs() {
         let a = dl_allocation(&cell(), 0, 0.0001).unwrap();
         assert_eq!(a.n_prb, 1);
+    }
+
+    #[test]
+    fn allocation_table_matches_direct_computation() {
+        let mut tdd = cell();
+        tdd.ul_rb_fraction = 0.6;
+        let fdd = {
+            use nr_phy::band::Band;
+            use nr_phy::numerology::Numerology;
+            CellConfig::fdd(Band::N25, 20, Numerology::Mu0)
+        };
+        for cfg in [&tdd, &fdd] {
+            let table = AllocationTable::new(cfg, 1.0, 1.0);
+            for slot in 0..40u64 {
+                assert_eq!(table.dl(cfg, slot, 1.0), dl_allocation(cfg, slot, 1.0));
+                assert_eq!(table.ul(cfg, slot, 1.0), ul_allocation(cfg, slot, 1.0));
+                assert_eq!(table.has_ul(slot), cfg.ul_symbols(slot) > 0);
+                // Off-table shares fall through to the direct path.
+                assert_eq!(table.dl(cfg, slot, 0.5), dl_allocation(cfg, slot, 0.5));
+                assert_eq!(table.ul(cfg, slot, 0.25), ul_allocation(cfg, slot, 0.25));
+            }
+        }
     }
 }

@@ -97,7 +97,16 @@ impl UeSim {
     /// when routed, the LTE UL leg, distinguished by the `carrier` field).
     pub fn run(&mut self, duration_s: f64) -> KpiTrace {
         let ticks = (duration_s / self.base_slot_s).round() as u64;
-        let mut trace = KpiTrace::new();
+        // Preallocate for the worst case: every stepping carrier emits a DL
+        // and a UL record each step, plus the LTE leg. A slight
+        // over-estimate (idle UL slots emit nothing) buys a realloc-free run.
+        let records: u64 = self
+            .dividers
+            .iter()
+            .map(|&d| 2 * ticks.div_ceil(d.max(1)))
+            .sum::<u64>()
+            + if self.lte.is_some() { ticks.div_ceil(self.lte_divider) } else { 0 };
+        let mut trace = KpiTrace::with_capacity(records as usize);
         for _ in 0..ticks {
             self.step_into(&mut trace);
         }

@@ -60,7 +60,13 @@ impl TrafficState {
             backlog_bits: backlog,
             offered_bits: backlog,
             delivered_bits: 0.0,
-            rng: seeds.stream(&format!("traffic/{label}")),
+            // The two labels every carrier opens are static; keep the byte
+            // layout of the formatted form for any other caller.
+            rng: match label {
+                "dl" => seeds.stream_static("traffic/dl"),
+                "ul" => seeds.stream_static("traffic/ul"),
+                _ => seeds.stream(&format!("traffic/{label}")),
+            },
         }
     }
 

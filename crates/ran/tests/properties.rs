@@ -110,6 +110,41 @@ proptest! {
         }
     }
 
+    /// The precomputed per-TDD-cycle allocation table is bit-identical to
+    /// the direct scheduler computation across random TDD patterns,
+    /// bandwidths, UL RB fractions, slots and shares — on the table's own
+    /// share (the precomputed lane) and on arbitrary shares (fallthrough).
+    #[test]
+    fn allocation_table_bit_identical_across_patterns(
+        pattern in prop::sample::select(vec![
+            "DDDSU", "DDDDDDDSUU", "DDSU", "DSUUU",
+        ]),
+        bw in prop::sample::select(vec![40u32, 60, 80, 90, 100]),
+        ul_frac in 0.05f64..1.0,
+        table_share in 0.01f64..1.0,
+        probes in prop::collection::vec((0u64..200, 0.01f64..1.0), 1..50),
+    ) {
+        use ran::scheduler::{dl_allocation, ul_allocation, AllocationTable};
+        let mut cfg = CellConfig::midband(bw, pattern);
+        cfg.ul_rb_fraction = ul_frac;
+        let table = AllocationTable::new(&cfg, table_share, table_share);
+        for (slot, share) in probes {
+            // The precomputed lane.
+            prop_assert_eq!(
+                table.dl(&cfg, slot, table_share),
+                dl_allocation(&cfg, slot, table_share)
+            );
+            prop_assert_eq!(
+                table.ul(&cfg, slot, table_share),
+                ul_allocation(&cfg, slot, table_share)
+            );
+            prop_assert_eq!(table.has_ul(slot), cfg.ul_symbols(slot) > 0);
+            // Arbitrary shares fall through to the direct computation.
+            prop_assert_eq!(table.dl(&cfg, slot, share), dl_allocation(&cfg, slot, share));
+            prop_assert_eq!(table.ul(&cfg, slot, share), ul_allocation(&cfg, slot, share));
+        }
+    }
+
     /// Throughput accounting: binned series integrate to the same bits as
     /// the scalar mean, for any carrier run.
     #[test]
