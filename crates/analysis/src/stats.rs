@@ -20,26 +20,35 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
 }
 
-/// Linear-interpolated percentile, p ∈ [0, 100]; `None` on empty input.
+/// Linear-interpolated percentile, p ∈ [0, 100]. NaN samples are
+/// excluded; `None` on empty or all-NaN input. Sorting uses
+/// [`f64::total_cmp`], so a stray NaN can never panic the comparator —
+/// real traces carry NaN rate samples wherever a bin had no records.
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
+    if frac == 0.0 {
+        // Exact rank: return the sample itself. The blend below would
+        // turn an infinite endpoint into `inf * 0.0 = NaN`.
+        return Some(sorted[lo]);
+    }
     Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
 /// `(value, cumulative fraction)` points of the empirical CDF — the form
-/// of the paper's Fig. 3.
+/// of the paper's Fig. 3. NaN samples are excluded (all-NaN input yields
+/// an empty CDF); ordering uses [`f64::total_cmp`].
 pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     sorted
         .into_iter()
@@ -90,19 +99,21 @@ pub struct BoxplotStats {
 }
 
 impl BoxplotStats {
-    /// Compute from samples; `None` on empty input.
+    /// Compute from samples. NaN samples are excluded and `n` counts
+    /// only the samples used; `None` on empty or all-NaN input.
     pub fn from_samples(xs: &[f64]) -> Option<Self> {
-        if xs.is_empty() {
+        let finite: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+        if finite.is_empty() {
             return None;
         }
         Some(BoxplotStats {
-            min: percentile(xs, 0.0)?,
-            q1: percentile(xs, 25.0)?,
-            median: percentile(xs, 50.0)?,
-            q3: percentile(xs, 75.0)?,
-            max: percentile(xs, 100.0)?,
-            mean: mean(xs),
-            n: xs.len(),
+            min: percentile(&finite, 0.0)?,
+            q1: percentile(&finite, 25.0)?,
+            median: percentile(&finite, 50.0)?,
+            q3: percentile(&finite, 75.0)?,
+            max: percentile(&finite, 100.0)?,
+            mean: mean(&finite),
+            n: finite.len(),
         })
     }
 }
@@ -160,6 +171,34 @@ mod tests {
         assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
         assert_eq!(pearson(&x, &vec![1.0; 50]), None);
         assert_eq!(pearson(&x[..3], &y[..4]), None);
+    }
+
+    #[test]
+    fn nan_samples_are_filtered_not_fatal() {
+        // Pre-fix, any NaN panicked the partial_cmp comparator.
+        let xs = [f64::NAN, 3.0, 1.0, f64::NAN, 2.0];
+        assert_eq!(percentile(&xs, 50.0), Some(2.0));
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), None);
+
+        let cdf = cdf_points(&xs);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf.last().unwrap(), &(3.0, 1.0));
+        assert!(cdf_points(&[f64::NAN]).is_empty());
+
+        let b = BoxplotStats::from_samples(&xs).unwrap();
+        assert_eq!(b.n, 3);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 3.0);
+        assert_eq!(b.mean, 2.0);
+        assert!(BoxplotStats::from_samples(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn infinities_order_correctly() {
+        let xs = [f64::INFINITY, 1.0, f64::NEG_INFINITY];
+        assert_eq!(percentile(&xs, 0.0), Some(f64::NEG_INFINITY));
+        assert_eq!(percentile(&xs, 100.0), Some(f64::INFINITY));
+        assert_eq!(percentile(&xs, 50.0), Some(1.0));
     }
 
     #[test]

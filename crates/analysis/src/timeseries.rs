@@ -6,6 +6,7 @@
 //! helpers bin irregular `(time, value)` samples onto a regular grid by
 //! averaging (rates, MCS, layers) or summing (bits).
 
+use obs::audit::{self, Invariant};
 use serde::{Deserialize, Serialize};
 
 /// A regularly-resampled series.
@@ -25,27 +26,35 @@ impl Resampled {
 }
 
 /// Average of samples per bin; empty bins repeat the previous bin's value
-/// (sample-and-hold, as a plotted KPI line would).
+/// (sample-and-hold, as a plotted KPI line would). Bins *before* the
+/// first sample are backfilled with the first real bin's value — seeding
+/// the hold with 0.0 would fabricate a zero-KPI ramp at the start of
+/// every trace whose first sample lands after bin 0. All-empty input
+/// still yields zeros. Samples with non-finite timestamps are dropped.
 pub fn bin_average(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resampled {
     let n_bins = (duration_s / bin_s).ceil().max(0.0) as usize;
     let mut sums = vec![0.0; n_bins];
     let mut counts = vec![0u32; n_bins];
     for &(t, v) in samples {
-        if t < 0.0 || n_bins == 0 {
+        if !t.is_finite() || t < 0.0 || n_bins == 0 {
             continue;
         }
         let b = ((t / bin_s) as usize).min(n_bins - 1);
         sums[b] += v;
         counts[b] += 1;
     }
+    let first_value = (0..n_bins)
+        .find(|&b| counts[b] > 0)
+        .map_or(0.0, |b| sums[b] / f64::from(counts[b]));
     let mut values = Vec::with_capacity(n_bins);
-    let mut last = 0.0;
+    let mut last = first_value;
     for b in 0..n_bins {
         if counts[b] > 0 {
             last = sums[b] / f64::from(counts[b]);
         }
         values.push(last);
     }
+    audit_resample_len(&values, bin_s, duration_s);
     Resampled { bin_s, values }
 }
 
@@ -55,13 +64,25 @@ pub fn bin_sum(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resampled
     let n_bins = (duration_s / bin_s).ceil().max(0.0) as usize;
     let mut sums = vec![0.0; n_bins];
     for &(t, v) in samples {
-        if t < 0.0 || n_bins == 0 {
+        if !t.is_finite() || t < 0.0 || n_bins == 0 {
             continue;
         }
         let b = ((t / bin_s) as usize).min(n_bins - 1);
         sums[b] += v;
     }
-    Resampled { bin_s, values: sums.into_iter().map(|s| s / bin_s).collect() }
+    let values: Vec<f64> = sums.into_iter().map(|s| s / bin_s).collect();
+    audit_resample_len(&values, bin_s, duration_s);
+    Resampled { bin_s, values }
+}
+
+/// Count every resample and, under `MIDBAND5G_AUDIT`, verify the output
+/// grid has exactly `ceil(duration/bin)` bins.
+fn audit_resample_len(values: &[f64], bin_s: f64, duration_s: f64) {
+    obs::registry().counter("timeseries.resamples").inc();
+    if audit::enabled() {
+        let expected = (duration_s / bin_s).ceil().max(0.0) as usize;
+        audit::check(Invariant::ResampleLength, values.len() == expected);
+    }
 }
 
 #[cfg(test)]
@@ -91,9 +112,41 @@ mod tests {
     fn out_of_range_samples_clamped_or_dropped() {
         let samples = vec![(-1.0, 99.0), (10.0, 7.0)];
         let r = bin_average(&samples, 1.0, 2.0);
-        // Negative time dropped; far-future sample clamps to the last bin.
-        assert_eq!(r.values[0], 0.0);
+        // Negative time dropped; far-future sample clamps to the last
+        // bin; the leading empty bin backfills from it.
+        assert_eq!(r.values[0], 7.0);
         assert_eq!(r.values[1], 7.0);
+    }
+
+    #[test]
+    fn leading_empty_bins_backfill_from_first_real_bin() {
+        // First sample lands in bin 2: bins 0..2 must report the first
+        // real value, not a fabricated zero ramp.
+        let samples = vec![(1.1, 40.0), (1.3, 60.0), (2.4, 80.0)];
+        let r = bin_average(&samples, 0.5, 3.0);
+        assert_eq!(r.values.len(), 6);
+        assert_eq!(r.values[0], 50.0); // backfilled
+        assert_eq!(r.values[1], 50.0); // backfilled
+        assert_eq!(r.values[2], 50.0); // mean of the first two samples
+        assert_eq!(r.values[3], 50.0); // held
+        assert_eq!(r.values[4], 80.0);
+        assert_eq!(r.values[5], 80.0); // held
+    }
+
+    #[test]
+    fn all_empty_input_stays_zero() {
+        let r = bin_average(&[], 0.5, 2.0);
+        assert_eq!(r.values, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn non_finite_timestamps_are_dropped() {
+        let samples =
+            vec![(f64::NAN, 99.0), (f64::INFINITY, 99.0), (f64::NEG_INFINITY, 99.0), (0.1, 5.0)];
+        let avg = bin_average(&samples, 1.0, 2.0);
+        assert_eq!(avg.values, vec![5.0, 5.0]);
+        let sum = bin_sum(&samples, 1.0, 2.0);
+        assert_eq!(sum.values, vec![5.0, 0.0]);
     }
 
     #[test]

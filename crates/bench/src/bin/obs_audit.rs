@@ -1,0 +1,118 @@
+//! Invariant-audit gate: run campaigns with audit mode on, export the
+//! observability snapshot, fail on any violation.
+//!
+//! Drives a three-operator campaign (sequential + parallel), a mobility
+//! session per kind, and the analysis resamplers with audit mode forced
+//! on, then writes `OBS_audit.json` next to `BENCH_slotloop.json` at the
+//! repository root and exits non-zero if any invariant was violated —
+//! the gating job CI runs on every push.
+//!
+//! ```text
+//! cargo run --release -p midband5g-bench --bin obs_audit
+//! cargo run --release -p midband5g-bench --bin obs_audit -- --quick
+//! cargo run --release -p midband5g-bench --bin obs_audit -- --out-dir /tmp
+//! ```
+
+use std::path::PathBuf;
+
+use midband5g::analysis::timeseries::{bin_average, bin_sum};
+use midband5g::measure::campaign::{Campaign, CampaignTotals};
+use midband5g::measure::session::{MobilityKind, SessionResult, SessionSpec};
+use midband5g::obs;
+use midband5g::operators::Operator;
+
+/// Default output directory: the repository root, resolved relative to
+/// this crate so the binary works from any working directory.
+const DEFAULT_OUT_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let out_dir = argv
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| argv.get(i + 1).cloned())
+        .map_or_else(|| PathBuf::from(DEFAULT_OUT_DIR), PathBuf::from);
+
+    obs::audit::set_enabled(true);
+    obs::reset();
+
+    let (sessions, duration_s) = if quick { (4, 1.0) } else { (8, 4.0) };
+    let operators = [Operator::VodafoneItaly, Operator::TelekomGermany, Operator::VerizonUs];
+
+    // Campaigns: the sequential reference plus a parallel re-run, so the
+    // executor, session, sim and RAN layers are all exercised under audit.
+    let mut totals = CampaignTotals::default();
+    for (i, operator) in operators.into_iter().enumerate() {
+        let campaign =
+            Campaign { operator, sessions, session_duration_s: duration_s, base_seed: 42 + i as u64 };
+        for result in campaign.run() {
+            totals.add(&result);
+        }
+        let parallel = campaign.run_parallel(4);
+        println!(
+            "  {operator:<16} {} sessions x {duration_s} s, mean DL {:.0} Mbps",
+            parallel.len(),
+            parallel.iter().map(SessionResult::dl_mbps).sum::<f64>() / parallel.len() as f64
+        );
+    }
+
+    // Mobility kinds: walking/driving sweep the channel and handover paths
+    // the stationary campaign spots never reach. The results also feed a
+    // throwaway dataset export so its span shows up in the snapshot.
+    let mut mobility_results = Vec::new();
+    for kind in [MobilityKind::Walking, MobilityKind::Driving] {
+        let spec = SessionSpec {
+            operator: Operator::TMobileUs,
+            mobility: kind,
+            dl: true,
+            ul: true,
+            duration_s,
+            seed: 7,
+        };
+        mobility_results.push(SessionResult::run(spec));
+    }
+    let export_dir = std::env::temp_dir().join(format!("obs-audit-{}", std::process::id()));
+    if let Err(e) = midband5g::measure::dataset::Dataset::at(&export_dir)
+        .export("obs_audit mobility sessions", &mobility_results)
+    {
+        eprintln!("error: dataset export failed: {e}");
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&export_dir);
+
+    // Analysis resamplers under audit, fed a real-looking sparse series.
+    let samples: Vec<(f64, f64)> =
+        (0..500).map(|i| (f64::from(i) * 0.037, f64::from(i % 17))).collect();
+    for bin_s in [0.1, 0.5, 1.0] {
+        let _ = bin_average(&samples, bin_s, 18.5);
+        let _ = bin_sum(&samples, bin_s, 18.5);
+    }
+
+    let snap = obs::snapshot();
+    println!(
+        "audit run: {} metrics, {:.1} min simulated, {:.3} GB delivered",
+        snap.metric_count(),
+        totals.minutes,
+        totals.bytes as f64 / 1e9
+    );
+    for (name, count) in &snap.audit.violations {
+        if *count > 0 {
+            eprintln!("  VIOLATION {name}: {count}");
+        }
+    }
+
+    match obs::write_snapshot("audit", &out_dir) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write snapshot to {}: {e}", out_dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    if snap.audit.total_violations > 0 {
+        eprintln!("FAIL: {} invariant violations", snap.audit.total_violations);
+        std::process::exit(1);
+    }
+    println!("OK: zero invariant violations");
+}

@@ -45,6 +45,8 @@ pub fn run_campaign(
     duration_s: f64,
     base_seed: u64,
 ) -> Vec<SessionResult> {
+    let _span = obs::span("experiments.run_campaign");
+    obs::registry().counter("experiments.campaigns").inc();
     Campaign { operator, sessions, session_duration_s: duration_s, base_seed }.run_auto()
 }
 

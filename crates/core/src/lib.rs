@@ -21,6 +21,8 @@
 //! * [`operators`] — the Table 2/3 deployment profiles;
 //! * [`measure`] — campaign orchestration (iPerf runs, latency probes);
 //! * [`analysis`] — the §5 scaled variability metrics and statistics;
+//! * [`obs`] — metrics, spans and the `MIDBAND5G_AUDIT` invariant audit
+//!   (DESIGN.md §5.3); snapshots export as `OBS_<run>.json`;
 //! * [`video`] — DASH player + ABR algorithms + QoE metrics (§6);
 //! * [`experiments`] — one preset per paper table/figure, used by the
 //!   `midband5g-bench` regeneration binaries and the examples.
@@ -45,6 +47,7 @@
 pub use analysis;
 pub use measure;
 pub use nr_phy;
+pub use obs;
 pub use operators;
 pub use radio_channel;
 pub use ran;

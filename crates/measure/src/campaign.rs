@@ -50,6 +50,8 @@ impl Campaign {
     /// Run every session sequentially — the reference path the
     /// determinism harness compares [`Campaign::run_parallel`] against.
     pub fn run(&self) -> Vec<SessionResult> {
+        let _span = obs::span("campaign.run");
+        obs::registry().counter("campaign.runs").inc();
         self.specs().into_iter().map(SessionResult::run).collect()
     }
 
@@ -57,12 +59,16 @@ impl Campaign {
     /// spec order and are byte-identical to [`Campaign::run`]
     /// (`tests/determinism.rs` enforces this for thread counts 1/2/8).
     pub fn run_parallel(&self, threads: usize) -> Vec<SessionResult> {
+        let _span = obs::span("campaign.run");
+        obs::registry().counter("campaign.runs").inc();
         Executor::new(threads).run_sessions(&self.specs())
     }
 
     /// Run with the thread count from `MIDBAND5G_THREADS` (default: all
     /// available cores) — what the figure binaries use.
     pub fn run_auto(&self) -> Vec<SessionResult> {
+        let _span = obs::span("campaign.run");
+        obs::registry().counter("campaign.runs").inc();
         Executor::from_env().run_sessions(&self.specs())
     }
 }

@@ -72,6 +72,7 @@ impl Dataset {
         description: &str,
         results: &[SessionResult],
     ) -> io::Result<DatasetManifest> {
+        let _span = obs::span("dataset.export");
         std::fs::create_dir_all(self.sessions_dir())?;
         let mut manifest = DatasetManifest {
             description: description.to_string(),
@@ -97,6 +98,9 @@ impl Dataset {
         let json = serde_json::to_string_pretty(&manifest)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         std::fs::write(self.manifest_path(), json)?;
+        let reg = obs::registry();
+        reg.counter("dataset.exports").inc();
+        reg.counter("dataset.exported_records").add(manifest.total_records);
         Ok(manifest)
     }
 

@@ -17,9 +17,64 @@
 //! figure/`repro_all` binaries route through `experiments::run_campaign`.
 
 use crate::session::{SessionResult, SessionSpec};
+use obs::audit::{self, Invariant};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// A delivery-accounting failure while reassembling parallel results.
+///
+/// These conditions previously hid behind a `debug_assert!` and a bare
+/// `expect` — invisible in release builds, nameless in debug ones. They
+/// indicate a broken executor (or a `work` closure that unwound without
+/// the scope propagating it), never bad input data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// A worker delivered an output for the same index twice.
+    DuplicateDelivery {
+        /// The index delivered more than once.
+        index: usize,
+        /// Total number of work items in the batch.
+        total: usize,
+    },
+    /// A worker delivered an output for an index outside the batch.
+    IndexOutOfRange {
+        /// The out-of-range index.
+        index: usize,
+        /// Total number of work items in the batch.
+        total: usize,
+    },
+    /// No output was ever delivered for an index.
+    MissingDelivery {
+        /// The first index with no delivery.
+        index: usize,
+        /// How many deliveries were received in total.
+        received: usize,
+        /// Total number of work items in the batch.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ExecutorError::DuplicateDelivery { index, total } => {
+                write!(f, "index {index} of {total} delivered twice")
+            }
+            ExecutorError::IndexOutOfRange { index, total } => {
+                write!(f, "delivery for index {index} outside batch of {total}")
+            }
+            ExecutorError::MissingDelivery { index, received, total } => {
+                write!(
+                    f,
+                    "no delivery for index {index}: received {received} of {total} outputs"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
 
 /// Environment variable selecting the campaign thread count.
 /// Unset or `0` means "all available cores"; `1` forces sequential.
@@ -74,22 +129,49 @@ impl Executor {
     /// `iter().map()`.
     ///
     /// Panics in `work` propagate to the caller once the scope joins.
+    /// Delivery-accounting failures panic with the [`ExecutorError`]
+    /// message; use [`Executor::try_map`] to handle them instead.
     pub fn map<T, O, F>(&self, items: &[T], work: F) -> Vec<O>
     where
         T: Sync,
         O: Send,
         F: Fn(&T) -> O + Sync,
     {
+        match self.try_map(items, work) {
+            Ok(outputs) => outputs,
+            Err(e) => panic!("executor delivery invariant broken: {e}"),
+        }
+    }
+
+    /// [`Executor::map`], surfacing delivery-accounting failures as
+    /// [`ExecutorError`] instead of panicking. Failures are also counted
+    /// on the `executor.delivery_errors` metric and the
+    /// `executor_delivery` audit invariant.
+    pub fn try_map<T, O, F>(&self, items: &[T], work: F) -> Result<Vec<O>, ExecutorError>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(&T) -> O + Sync,
+    {
         let n = items.len();
+        let _span = obs::span("executor.map");
+        let reg = obs::registry();
+        reg.counter("executor.items").add(n as u64);
         let workers = self.threads().min(n);
+        reg.gauge("executor.workers").set(workers.max(1) as i64);
+        let per_worker = reg.histogram("executor.items_per_worker", obs::COUNT_BOUNDS);
+        let queue_depth = reg.histogram("executor.queue_depth", obs::COUNT_BOUNDS);
         if workers <= 1 {
-            return items.iter().map(work).collect();
+            per_worker.record(n as u64);
+            reg.gauge("executor.imbalance").set(0);
+            return Ok(items.iter().map(work).collect());
         }
 
         let cursor = AtomicUsize::new(0);
+        let claims: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
         let (tx, rx) = mpsc::channel::<(usize, O)>();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for my_claims in &claims {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let work = &work;
@@ -98,6 +180,8 @@ impl Executor {
                     if index >= n {
                         break;
                     }
+                    my_claims.fetch_add(1, Ordering::Relaxed);
+                    queue_depth.record((n - index - 1) as u64);
                     // The receiver outlives the scope; a send can only
                     // fail if the main thread is already unwinding.
                     if tx.send((index, work(&items[index]))).is_err() {
@@ -108,21 +192,53 @@ impl Executor {
         });
         drop(tx);
 
-        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-        for (index, output) in rx {
-            debug_assert!(slots[index].is_none(), "index {index} delivered twice");
-            slots[index] = Some(output);
+        let counts: Vec<u64> = claims.iter().map(|c| c.load(Ordering::Relaxed) as u64).collect();
+        for &c in &counts {
+            per_worker.record(c);
         }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every index claimed exactly once"))
-            .collect()
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        reg.gauge("executor.imbalance").set((max - min) as i64);
+
+        let assembled = assemble(n, rx);
+        if assembled.is_err() {
+            reg.counter("executor.delivery_errors").inc();
+            audit::violation(Invariant::ExecutorDelivery);
+        }
+        assembled
     }
 
     /// Run a batch of session specs, results in spec order.
     pub fn run_sessions(&self, specs: &[SessionSpec]) -> Vec<SessionResult> {
         self.map(specs, |spec| SessionResult::run(*spec))
     }
+}
+
+/// Reassemble indexed deliveries into input order, verifying that every
+/// index in `0..n` arrived exactly once.
+fn assemble<O>(
+    n: usize,
+    deliveries: impl IntoIterator<Item = (usize, O)>,
+) -> Result<Vec<O>, ExecutorError> {
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let mut received = 0usize;
+    for (index, output) in deliveries {
+        let Some(slot) = slots.get_mut(index) else {
+            return Err(ExecutorError::IndexOutOfRange { index, total: n });
+        };
+        if slot.is_some() {
+            return Err(ExecutorError::DuplicateDelivery { index, total: n });
+        }
+        *slot = Some(output);
+        received += 1;
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.ok_or(ExecutorError::MissingDelivery { index, received, total: n })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -164,6 +280,40 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         assert_eq!(Executor::new(0).threads(), 1);
         assert_eq!(Executor::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn try_map_matches_map() {
+        let items: Vec<u64> = (0..40).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        assert_eq!(Executor::new(4).try_map(&items, |x| x + 1), Ok(expect));
+    }
+
+    #[test]
+    fn assemble_accepts_complete_out_of_order_delivery() {
+        let deliveries = vec![(2, 'c'), (0, 'a'), (1, 'b')];
+        assert_eq!(assemble(3, deliveries), Ok(vec!['a', 'b', 'c']));
+    }
+
+    #[test]
+    fn assemble_names_duplicate_index() {
+        let err = assemble(3, vec![(1, 'x'), (1, 'y')]).unwrap_err();
+        assert_eq!(err, ExecutorError::DuplicateDelivery { index: 1, total: 3 });
+        assert_eq!(err.to_string(), "index 1 of 3 delivered twice");
+    }
+
+    #[test]
+    fn assemble_names_missing_index_and_received_count() {
+        let err = assemble(3, vec![(0, 'a'), (2, 'c')]).unwrap_err();
+        assert_eq!(err, ExecutorError::MissingDelivery { index: 1, received: 2, total: 3 });
+        assert_eq!(err.to_string(), "no delivery for index 1: received 2 of 3 outputs");
+    }
+
+    #[test]
+    fn assemble_rejects_out_of_range_index() {
+        let err = assemble(2, vec![(5, 'z')]).unwrap_err();
+        assert_eq!(err, ExecutorError::IndexOutOfRange { index: 5, total: 2 });
+        assert_eq!(err.to_string(), "delivery for index 5 outside batch of 2");
     }
 
     #[test]

@@ -66,9 +66,14 @@ pub fn transfer_completion_s(
         sim.step_into(&mut trace);
         for r in &trace.records[before..] {
             delivered += f64::from(r.delivered_bits);
-        }
-        if delivered >= target_bits {
-            return trace.records.last().map(|r| r.time_s);
+            if delivered >= target_bits {
+                // Return the time of the record that crossed the target.
+                // A carrier-aggregated tick emits several records with
+                // different timestamps, so the tick's *last* record can
+                // postdate (or, under mixed numerology, predate) the
+                // actual crossing.
+                return Some(r.time_s);
+            }
         }
         // Keep memory bounded: each record carries its own absolute
         // timestamp, so earlier records can be dropped freely.
@@ -140,6 +145,71 @@ mod tests {
             5,
         )
         .is_none());
+    }
+
+    #[test]
+    fn completion_time_is_the_crossing_records_time() {
+        // T-Mobile aggregates n41 (0.5 ms slots) with n25 (1 ms slots),
+        // so one tick emits records at different timestamps — exactly
+        // the case where "time of the tick's last record" is wrong.
+        let operator = Operator::TMobileUs;
+        let mobility = MobilityKind::Stationary { spot: 0 };
+        let megabits = 80.0;
+        let max_duration_s = 30.0;
+
+        // Scan seeds for a run where the crossing record is *not* the
+        // tick's last record — the only case that distinguishes the fix
+        // from the original "last record of the tick" behaviour.
+        let mut checked_non_degenerate = false;
+        for seed in 0..32u64 {
+            // Replay the identical simulation and locate the record
+            // whose delivered bits actually crossed the target.
+            let spec = SessionSpec {
+                operator,
+                mobility,
+                dl: true,
+                ul: false,
+                duration_s: max_duration_s,
+                seed,
+            };
+            let profile = operator.profile();
+            let mut sim = profile.build_ue_sim(
+                spec.mobility_model(),
+                ran::sim::UeSimConfig {
+                    traffic: ran::carrier::TrafficPattern::DL,
+                    routing: profile.routing,
+                },
+                &spec.seeds(),
+            );
+            let target_bits = megabits * 1e6;
+            let mut delivered = 0.0f64;
+            let mut trace = KpiTrace::new();
+            let ticks = (max_duration_s / sim.base_slot_s()).round() as u64;
+            let mut crossing = None;
+            'ticks: for _ in 0..ticks {
+                let before = trace.records.len();
+                sim.step_into(&mut trace);
+                for i in before..trace.records.len() {
+                    delivered += f64::from(trace.records[i].delivered_bits);
+                    if delivered >= target_bits {
+                        crossing = Some((trace.records[i], *trace.records.last().unwrap()));
+                        break 'ticks;
+                    }
+                }
+            }
+            let (crossing, tick_last) = crossing.expect("replay crosses the target");
+            let got = transfer_completion_s(operator, mobility, megabits, max_duration_s, seed)
+                .expect("80 Mb completes well within 30 s");
+            assert_eq!(got, crossing.time_s, "seed {seed}");
+            if crossing.time_s != tick_last.time_s {
+                checked_non_degenerate = true;
+                break;
+            }
+        }
+        assert!(
+            checked_non_degenerate,
+            "no seed in 0..32 crossed mid-tick; the regression check never engaged"
+        );
     }
 
     #[test]

@@ -21,6 +21,6 @@ pub mod session;
 
 pub use campaign::{Campaign, CampaignTotals};
 pub use dataset::{trace_to_csv, Dataset, DatasetManifest};
-pub use executor::{Executor, THREADS_ENV};
+pub use executor::{Executor, ExecutorError, THREADS_ENV};
 pub use iperf::{nr_only, run_iperf};
 pub use session::{MobilityKind, SessionResult, SessionSpec};

@@ -86,6 +86,8 @@ pub struct SessionResult {
 impl SessionResult {
     /// Execute a spec.
     pub fn run(spec: SessionSpec) -> SessionResult {
+        let _span = obs::span("session.run");
+        let violations_before = obs::audit::total_violations();
         let profile = spec.operator.profile();
         let mut sim = profile.build_ue_sim(
             spec.mobility_model(),
@@ -95,7 +97,19 @@ impl SessionResult {
             },
             &spec.seeds(),
         );
-        SessionResult { spec, trace: sim.run(spec.duration_s) }
+        let result = SessionResult { spec, trace: sim.run(spec.duration_s) };
+        let reg = obs::registry();
+        reg.counter("session.runs").inc();
+        reg.counter("session.records").add(result.trace.records.len() as u64);
+        // Attribution is approximate under parallel campaigns (another
+        // worker's violation can land between the two reads), but the
+        // zero-violation gate only cares whether *any* session tripped.
+        // Registered outside the branch so clean runs report an explicit 0.
+        let tripped = reg.counter("audit.sessions_with_violations");
+        if obs::audit::total_violations() > violations_before {
+            tripped.inc();
+        }
+        result
     }
 
     /// Bytes delivered over the session (both directions, all legs) — the

@@ -1,0 +1,54 @@
+//! Scoped spans: enter/exit timing onto duration histograms.
+//!
+//! A span is a guard that records its lifetime (in nanoseconds) into a
+//! span histogram when dropped. Opening a span does one registry lookup
+//! (mutex + scan), so spans belong around *batch*-level work — campaign
+//! execution, a session, a dataset export. Per-slot code should cache
+//! the [`Histogram`] handle at construction instead and call
+//! [`Histogram::record_duration`] directly.
+
+use crate::registry::{registry, Histogram};
+use std::time::Instant;
+
+/// A live span; records its elapsed time on drop.
+#[must_use = "a span records on drop — bind it with `let _span = ...`"]
+pub struct SpanGuard {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Time elapsed since the span opened.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+/// Open a span named `name` (reported under `spans` in the snapshot).
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard { hist: registry().span_histogram(name), start: Instant::now() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        {
+            let _span = span("test.span.scope");
+        }
+        {
+            let _span = span("test.span.scope");
+        }
+        let snap = registry().snapshot();
+        let s = snap.spans.iter().find(|h| h.name == "test.span.scope").unwrap();
+        assert_eq!(s.count, 2);
+    }
+}

@@ -13,6 +13,8 @@ use crate::scheduler::AllocationTable;
 use crate::traffic::{TrafficSource, TrafficState};
 use nr_phy::csi::DEFAULT_CSI_PERIOD_SLOTS;
 use nr_phy::tbs::TbsCache;
+use obs::audit::{self, Invariant};
+use obs::Counter;
 use radio_channel::channel::{ChannelSimulator, ChannelState};
 use radio_channel::geometry::Position;
 use radio_channel::link::LinkModel;
@@ -64,6 +66,29 @@ const CARRIER_BLER_LABELS: [&str; 8] = [
     "carrier7/bler",
 ];
 
+/// Cached metric handles shared by every carrier. Handles are resolved
+/// once at construction so the per-slot path is pure atomic adds
+/// (`ran/tests/alloc_free.rs` holds with these compiled in).
+#[derive(Debug, Clone, Copy)]
+struct CarrierMetrics {
+    slots: Counter,
+    retx: Counter,
+    block_errors: Counter,
+    delivered_bits: Counter,
+}
+
+impl CarrierMetrics {
+    fn new() -> Self {
+        let reg = obs::registry();
+        CarrierMetrics {
+            slots: reg.counter("ran.slots"),
+            retx: reg.counter("ran.retx"),
+            block_errors: reg.counter("ran.block_errors"),
+            delivered_bits: reg.counter("ran.delivered_bits"),
+        }
+    }
+}
+
 /// One component carrier bound to one UE.
 #[derive(Debug, Clone)]
 pub struct Carrier {
@@ -89,6 +114,7 @@ pub struct Carrier {
     /// Memoised §5.1.3.2 TBS results (inputs cycle with the TDD pattern
     /// and CSI period; DL and UL share the memo — `n_re` disambiguates).
     tbs_cache: TbsCache,
+    metrics: CarrierMetrics,
 }
 
 impl Carrier {
@@ -123,6 +149,7 @@ impl Carrier {
             prev_rank: 2,
             alloc_table,
             tbs_cache: TbsCache::new(),
+            metrics: CarrierMetrics::new(),
         }
     }
 
@@ -216,6 +243,10 @@ impl Carrier {
             self.amc.update_csi(csi);
         }
         let cqi = self.amc.csi().cqi.value();
+        self.metrics.slots.inc();
+        if audit::enabled() {
+            audit::check(Invariant::CqiRange, cqi <= 15);
+        }
 
         let dl = if traffic.dl && self.dl_traffic.has_data() {
             self.dl_step(slot, time_s, cqi, &ch, dl_share)
@@ -304,6 +335,23 @@ impl Carrier {
         }
         self.amc.harq_feedback(!failed);
 
+        let delivered_bits = if failed { 0 } else { tbs_bits };
+        if failed {
+            self.metrics.block_errors.inc();
+        }
+        if is_retx {
+            self.metrics.retx.inc();
+        }
+        self.metrics.delivered_bits.add(u64::from(delivered_bits));
+        if audit::enabled() {
+            audit::check(Invariant::RbWithinCarrier, alloc.n_prb <= self.cfg.n_rb);
+            audit::check(
+                Invariant::HarqAttemptsWithinMax,
+                attempts <= self.dl_harq.config().max_attempts,
+            );
+            audit::check(Invariant::DeliveredWithinTbs, delivered_bits <= tbs_bits);
+        }
+
         SlotKpi {
             slot,
             time_s,
@@ -316,7 +364,7 @@ impl Carrier {
             modulation,
             layers: grant.layers,
             tbs_bits,
-            delivered_bits: if failed { 0 } else { tbs_bits },
+            delivered_bits,
             is_retx,
             block_error: failed,
             cqi,
@@ -373,6 +421,23 @@ impl Carrier {
             self.ul_harq.record_failure(tbs_bits, attempts, slot);
         }
 
+        let delivered_bits = if failed { 0 } else { tbs_bits };
+        if failed {
+            self.metrics.block_errors.inc();
+        }
+        if is_retx {
+            self.metrics.retx.inc();
+        }
+        self.metrics.delivered_bits.add(u64::from(delivered_bits));
+        if audit::enabled() {
+            audit::check(Invariant::RbWithinCarrier, alloc.n_prb <= self.cfg.n_rb);
+            audit::check(
+                Invariant::HarqAttemptsWithinMax,
+                attempts <= self.ul_harq.config().max_attempts,
+            );
+            audit::check(Invariant::DeliveredWithinTbs, delivered_bits <= tbs_bits);
+        }
+
         SlotKpi {
             slot,
             time_s,
@@ -385,7 +450,7 @@ impl Carrier {
             modulation,
             layers: grant.layers,
             tbs_bits,
-            delivered_bits: if failed { 0 } else { tbs_bits },
+            delivered_bits,
             is_retx,
             block_error: failed,
             cqi,

@@ -7,6 +7,8 @@
 //! incremental-redundancy combining, modelled as an SINR bonus per extra
 //! attempt.
 
+use obs::audit::{self, Invariant};
+use obs::Counter;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -41,12 +43,21 @@ pub struct PendingTb {
 }
 
 /// The per-direction HARQ entity of one UE on one carrier.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct HarqEntity {
     config: HarqConfig,
     pending: VecDeque<PendingTb>,
     /// Blocks dropped after exhausting attempts (residual BLER counter).
     dropped: u64,
+    /// Cached metric handles so the per-slot path stays allocation-free.
+    m_failures: Counter,
+    m_drops: Counter,
+}
+
+impl Default for HarqEntity {
+    fn default() -> Self {
+        HarqEntity::new(HarqConfig::default())
+    }
 }
 
 impl HarqEntity {
@@ -56,7 +67,14 @@ impl HarqEntity {
     /// a small capacity up front keeps the per-slot path allocation-free.
     pub fn new(config: HarqConfig) -> Self {
         let capacity = (config.rtt_slots as usize * 2).clamp(16, 256);
-        HarqEntity { config, pending: VecDeque::with_capacity(capacity), dropped: 0 }
+        let reg = obs::registry();
+        HarqEntity {
+            config,
+            pending: VecDeque::with_capacity(capacity),
+            dropped: 0,
+            m_failures: reg.counter("harq.failures"),
+            m_drops: reg.counter("harq.drops"),
+        }
     }
 
     /// The configuration.
@@ -77,8 +95,13 @@ impl HarqEntity {
     /// Record a failed (re)transmission of a block that has now consumed
     /// `attempts` attempts. Queues it for retransmission or drops it.
     pub fn record_failure(&mut self, tbs_bits: u32, attempts: u8, slot: u64) {
+        self.m_failures.inc();
+        if audit::enabled() {
+            audit::check(Invariant::HarqAttemptsWithinMax, attempts <= self.config.max_attempts);
+        }
         if attempts >= self.config.max_attempts {
             self.dropped += 1;
+            self.m_drops.inc();
             return;
         }
         self.pending.push_back(PendingTb {

@@ -11,6 +11,7 @@
 
 use crate::config::CellConfig;
 use nr_phy::resource::RbAllocation;
+use obs::audit::{self, Invariant};
 use serde::{Deserialize, Serialize};
 
 /// DM-RS REs per PRB for the 2-symbol type-A mapping used at rank 3–4.
@@ -43,6 +44,9 @@ pub fn dl_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAlloca
         return None;
     }
     let n_prb = ((cfg.n_rb as f64 * share).round() as u16).clamp(1, cfg.n_rb);
+    if audit::enabled() {
+        audit::check(Invariant::RbWithinCarrier, n_prb <= cfg.n_rb);
+    }
     Some(RbAllocation {
         n_prb,
         n_symbols: symbols.saturating_sub(PDCCH_SYMBOLS),
@@ -61,6 +65,9 @@ pub fn ul_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAlloca
     }
     let frac = (cfg.ul_rb_fraction * share).clamp(0.0, 1.0);
     let n_prb = ((cfg.n_rb as f64 * frac).round() as u16).clamp(1, cfg.n_rb);
+    if audit::enabled() {
+        audit::check(Invariant::RbWithinCarrier, n_prb <= cfg.n_rb);
+    }
     Some(RbAllocation {
         n_prb,
         n_symbols: symbols, // no PDCCH inside UL symbols

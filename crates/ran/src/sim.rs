@@ -11,6 +11,8 @@ use crate::carrier::{Carrier, TrafficPattern};
 use crate::config::UplinkRouting;
 use crate::kpi::KpiTrace;
 use crate::lte::LteAnchor;
+use obs::audit::{self, Invariant};
+use obs::{Counter, Histogram};
 use radio_channel::mobility::{MobilityModel, MobilityState};
 use radio_channel::rng::SeedTree;
 
@@ -48,6 +50,15 @@ pub struct UeSim {
     config: UeSimConfig,
     base_slot_s: f64,
     tick: u64,
+    /// Cached metric handles (resolved once; per-tick updates are atomic).
+    m_ticks: Counter,
+    m_tick_span: Histogram,
+    /// Last emitted `time_s` per carrier / for the LTE leg — timestamps
+    /// are only non-decreasing *within* a carrier (mixed-numerology CA
+    /// interleaves across carriers), so the monotone-time audit tracks
+    /// each leg separately.
+    last_time: Vec<f64>,
+    lte_last_time: f64,
 }
 
 impl UeSim {
@@ -80,6 +91,10 @@ impl UeSim {
             config,
             base_slot_s,
             tick: 0,
+            m_ticks: obs::registry().counter("sim.ticks"),
+            m_tick_span: obs::registry().span_histogram("sim.tick"),
+            last_time: vec![f64::NEG_INFINITY; n],
+            lte_last_time: f64::NEG_INFINITY,
         }
     }
 
@@ -117,6 +132,12 @@ impl UeSim {
     pub fn step_into(&mut self, trace: &mut KpiTrace) {
         let tick = self.tick;
         self.tick += 1;
+        self.m_ticks.inc();
+        // Sample 1-in-64 ticks: enough resolution for the slot-stepping
+        // span histogram without paying two clock reads per slot.
+        // (Masking, not `is_multiple_of`: the workspace MSRV is 1.75.)
+        let timed = tick & 63 == 0;
+        let started = if timed { Some(std::time::Instant::now()) } else { None };
 
         let moved = self.mobility.advance(self.base_slot_s);
         let position = self.mobility.position();
@@ -147,6 +168,10 @@ impl UeSim {
                 TrafficPattern { dl: self.config.traffic.dl, ul: false }
             };
             let out = carrier.step(position, mv, traffic, ul_on_nr, 1.0, 1.0);
+            if audit::enabled() {
+                audit::check(Invariant::TimeMonotone, out.dl.time_s >= self.last_time[i]);
+                self.last_time[i] = out.dl.time_s;
+            }
             trace.push(out.dl);
             if let Some(ul) = out.ul {
                 trace.push(ul);
@@ -157,8 +182,17 @@ impl UeSim {
         if self.config.traffic.ul && !ul_on_nr && tick.is_multiple_of(self.lte_divider) {
             if let Some(lte) = &mut self.lte {
                 let mv = std::mem::take(&mut self.lte_pending_move);
-                trace.push(lte.step_ul(position, mv));
+                let rec = lte.step_ul(position, mv);
+                if audit::enabled() {
+                    audit::check(Invariant::TimeMonotone, rec.time_s >= self.lte_last_time);
+                    self.lte_last_time = rec.time_s;
+                }
+                trace.push(rec);
             }
+        }
+
+        if let Some(started) = started {
+            self.m_tick_span.record_duration(started.elapsed());
         }
     }
 }

@@ -1,0 +1,103 @@
+//! The observability acceptance harness (DESIGN.md §5.3).
+//!
+//! One test drives a three-operator campaign with audit mode forced on
+//! and checks every contract the `obs` layer makes at once:
+//!
+//! * the snapshot carries executor span timings and a healthy set of
+//!   distinct metrics;
+//! * a clean campaign reports **zero** invariant violations;
+//! * metrics and audit counters stay *outside* the determinism boundary —
+//!   `run_parallel(n)` stays byte-identical to the sequential reference
+//!   for n ∈ {1, 2, 8} with instrumentation live;
+//! * `write_snapshot` produces a well-formed `OBS_<run>.json`.
+//!
+//! Everything lives in a single `#[test]`: the obs registry and audit
+//! counters are process-global, so independent tests in one binary would
+//! race on them.
+
+use midband5g::measure::campaign::Campaign;
+use midband5g::measure::session::SessionResult;
+use midband5g::obs;
+use midband5g::operators::Operator;
+
+/// Operators spanning three countries and both NSA routing architectures
+/// (the same spread the determinism harness uses).
+const OPERATORS: [Operator; 3] =
+    [Operator::VodafoneItaly, Operator::TelekomGermany, Operator::VerizonUs];
+
+fn encode(results: &[SessionResult]) -> String {
+    serde_json::to_string(&results.to_vec()).expect("session results serialise")
+}
+
+#[test]
+fn audited_campaign_snapshot_is_complete_and_clean() {
+    obs::audit::set_enabled(true);
+    obs::reset();
+
+    // --- Run the campaign: sequential reference, then parallel re-runs.
+    let mut references = Vec::new();
+    for (i, operator) in OPERATORS.into_iter().enumerate() {
+        let campaign =
+            Campaign { operator, sessions: 4, session_duration_s: 1.0, base_seed: 7000 + i as u64 };
+        let reference = campaign.run();
+        for threads in [1, 2, 8] {
+            let parallel = campaign.run_parallel(threads);
+            assert_eq!(
+                encode(&reference),
+                encode(&parallel),
+                "{operator}: audit-mode instrumentation broke determinism at {threads} threads"
+            );
+        }
+        references.push(reference);
+    }
+
+    // --- The snapshot must carry the instrumentation the run produced.
+    let snap = obs::snapshot();
+    assert!(
+        snap.metric_count() >= 8,
+        "expected >= 8 distinct metrics, got {}: {:?}",
+        snap.metric_count(),
+        snap.counters.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+    );
+
+    // Executor span timings: every run_parallel goes through map().
+    let executor_span = snap.span("executor.map").expect("executor.map span registered");
+    assert!(executor_span.count >= 9, "3 operators x 3 thread counts, got {}", executor_span.count);
+    assert!(executor_span.sum > 0, "span should accumulate nanoseconds");
+    let session_span = snap.span("session.run").expect("session.run span registered");
+    assert!(session_span.count > 0);
+
+    // Core counters from every layer of the stack.
+    let total_sessions: u64 = references.iter().map(|r| r.len() as u64 * 4).sum();
+    assert_eq!(snap.counter("session.runs"), Some(total_sessions));
+    assert_eq!(snap.counter("campaign.runs"), Some(12), "3 operators x (1 seq + 3 parallel)");
+    assert!(snap.counter("ran.slots").unwrap_or(0) > 0, "carrier slot counter");
+    assert!(snap.counter("sim.ticks").unwrap_or(0) > 0, "UE sim tick counter");
+    assert!(snap.counter("ran.delivered_bits").unwrap_or(0) > 0);
+    // Only the parallel re-runs route through the executor: 3 operators
+    // x 3 thread counts x 4 sessions.
+    assert_eq!(snap.counter("executor.items"), Some(36));
+    assert!(snap.span("sim.tick").is_some(), "sampled slot-stepping span");
+
+    // --- Zero-violation audit section.
+    assert!(snap.audit.enabled);
+    assert_eq!(
+        snap.audit.total_violations, 0,
+        "clean campaign must audit clean: {:?}",
+        snap.audit.violations
+    );
+    assert_eq!(snap.counter("audit.sessions_with_violations"), Some(0));
+    assert_eq!(snap.audit.violations.len(), obs::audit::INVARIANTS.len());
+
+    // --- The JSON export round-trips the same content.
+    let dir = std::env::temp_dir().join(format!("obs-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = obs::write_snapshot("campaign", &dir).unwrap();
+    assert!(path.ends_with("OBS_campaign.json"));
+    let body = std::fs::read_to_string(&path).unwrap();
+    assert!(body.contains("\"run\": \"campaign\""));
+    assert!(body.contains("\"executor.map\""));
+    assert!(body.contains("\"total_violations\": 0"));
+    assert_eq!(body.matches('{').count(), body.matches('}').count());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

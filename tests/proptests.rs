@@ -4,7 +4,10 @@
 //! boundaries: arbitrary-but-valid configurations must flow through the
 //! whole stack without violating invariants.
 
+use midband5g::analysis::timeseries::{bin_average, bin_sum};
 use midband5g::analysis::variability::variability;
+use midband5g::measure::campaign::Campaign;
+use midband5g::operators::Operator;
 use midband5g::nr_phy::bandwidth::{max_transmission_bandwidth, ChannelBandwidth};
 use midband5g::nr_phy::cqi::{Cqi, CqiTable, CqiToMcsPolicy};
 use midband5g::nr_phy::resource::RbAllocation;
@@ -99,6 +102,53 @@ proptest! {
         for c in &log.chunks {
             prop_assert!(c.level <= ladder.top_level());
             prop_assert!(c.arrived_at_s >= c.request_at_s);
+        }
+    }
+
+    /// The resamplers never panic and always return exactly
+    /// `ceil(duration/bin)` bins — even for samples whose timestamps and
+    /// values are arbitrary bit patterns (NaN, ±inf, subnormals, negative
+    /// zero all included).
+    #[test]
+    fn resamplers_always_return_ceil_duration_over_bin_bins(
+        raw in prop::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..64),
+        bin_s in 0.01f64..10.0,
+        duration_s in 0.0f64..100.0,
+    ) {
+        let samples: Vec<(f64, f64)> = raw
+            .iter()
+            .map(|&(t, v)| (f64::from_bits(t), f64::from_bits(v)))
+            .collect();
+        let expected = (duration_s / bin_s).ceil().max(0.0) as usize;
+        let avg = bin_average(&samples, bin_s, duration_s);
+        prop_assert_eq!(avg.values.len(), expected);
+        let sum = bin_sum(&samples, bin_s, duration_s);
+        prop_assert_eq!(sum.values.len(), expected);
+        // bin_sum of garbage must still be finite in bins no finite
+        // sample landed in (empty bins are exact zeros).
+        if samples.iter().all(|&(t, _)| !(t.is_finite() && t >= 0.0)) {
+            prop_assert!(sum.values.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    /// The obs-instrumented parallel campaign stays byte-identical to the
+    /// sequential reference for 1/2/8 workers, with audit mode live, for
+    /// arbitrary seeds and session counts.
+    #[test]
+    fn instrumented_parallel_campaign_is_deterministic(
+        seed in 0u64..100_000,
+        sessions in 1u64..=2,
+        op_index in 0usize..3,
+    ) {
+        midband5g::obs::audit::set_enabled(true);
+        let operator =
+            [Operator::VodafoneItaly, Operator::TelekomGermany, Operator::VerizonUs][op_index];
+        let campaign =
+            Campaign { operator, sessions, session_duration_s: 0.2, base_seed: seed };
+        let reference = serde_json::to_string(&campaign.run()).unwrap();
+        for threads in [1, 2, 8] {
+            let parallel = serde_json::to_string(&campaign.run_parallel(threads)).unwrap();
+            prop_assert_eq!(&reference, &parallel, "threads {}", threads);
         }
     }
 }
