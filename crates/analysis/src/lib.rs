@@ -13,15 +13,20 @@
 //! * [`correlation`] — lagged cross-correlation, quantifying the §6.1
 //!   "clear lag in the decisions made by BOLA" against the channel.
 //!
-//! The crate is deliberately free of simulator dependencies: it consumes
-//! plain `&[f64]` so it can analyse any KPI stream — simulated or real.
+//! The numeric modules are deliberately free of simulator dependencies:
+//! they consume plain `&[f64]` so they can analyse any KPI stream —
+//! simulated or real. The one exception is [`online`], which implements
+//! `ran`'s streaming `SlotSink` to fold slot records into bounded-memory
+//! aggregates as the simulator produces them.
 
 pub mod correlation;
+pub mod online;
 pub mod stats;
 pub mod timeseries;
 pub mod variability;
 
 pub use correlation::{autocorrelation, coherence_lag, cross_correlation, peak_lag, LagCorrelation};
+pub use online::OnlineAggregates;
 pub use stats::{cdf_points, mean, pearson, percentile, std_dev, BoxplotStats};
 pub use timeseries::{bin_average, bin_sum, Resampled};
 pub use variability::{variability, variability_profile, VariabilityPoint};

@@ -1,0 +1,72 @@
+//! Criterion benchmark of the columnar `KpiTrace` aggregation path against
+//! an array-of-structs baseline. The SoA layout must not lose to AoS on
+//! the column-local scans the figures run (`throughput_series_mbps`,
+//! `modulation_shares`) — that is the performance contract behind the
+//! chunked columnar storage (DESIGN.md §5.4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use midband5g::measure::session::{SessionResult, SessionSpec};
+use midband5g::operators::Operator;
+use midband5g::ran::kpi::{Direction, KpiTrace, Modulation, SlotKpi};
+
+/// A realistic trace: one 10 s dual-direction session (~40k records).
+fn bench_trace() -> KpiTrace {
+    SessionResult::run(SessionSpec::stationary(Operator::VodafoneSpain, 0, 10.0, 31)).trace
+}
+
+/// AoS reference: the pre-columnar implementation over a `Vec<SlotKpi>`.
+fn aos_throughput_series(records: &[SlotKpi], dir: Direction, bin_s: f64, dur: f64) -> Vec<f64> {
+    let n_bins = ((dur / bin_s).ceil() as usize).max(1);
+    let mut bits = vec![0u64; n_bins];
+    for r in records.iter().filter(|r| r.direction == dir) {
+        bits[((r.time_s / bin_s) as usize).min(n_bins - 1)] += u64::from(r.delivered_bits);
+    }
+    bits.into_iter().map(|b| b as f64 / bin_s / 1e6).collect()
+}
+
+/// AoS reference for the modulation-share scan.
+fn aos_modulation_shares(records: &[SlotKpi]) -> [u64; 4] {
+    let mut grants = [0u64; 4];
+    for r in records {
+        if r.direction == Direction::Dl && r.scheduled && !r.is_retx {
+            let code = match r.modulation {
+                Modulation::Qpsk => 0,
+                Modulation::Qam16 => 1,
+                Modulation::Qam64 => 2,
+                Modulation::Qam256 => 3,
+            };
+            grants[code] += 1;
+        }
+    }
+    grants
+}
+
+fn bench_throughput_series(c: &mut Criterion) {
+    let trace = bench_trace();
+    let records: Vec<SlotKpi> = trace.iter().collect();
+    let dur = trace.duration_s();
+
+    let mut group = c.benchmark_group("trace_throughput_series");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("aos_baseline", |b| {
+        b.iter(|| aos_throughput_series(&records, Direction::Dl, 0.1, dur))
+    });
+    group.bench_function("columnar", |b| {
+        b.iter(|| trace.throughput_series_mbps(Direction::Dl, 0.1))
+    });
+    group.finish();
+}
+
+fn bench_modulation_shares(c: &mut Criterion) {
+    let trace = bench_trace();
+    let records: Vec<SlotKpi> = trace.iter().collect();
+
+    let mut group = c.benchmark_group("trace_modulation_shares");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("aos_baseline", |b| b.iter(|| aos_modulation_shares(&records)));
+    group.bench_function("columnar", |b| b.iter(|| trace.modulation_shares()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput_series, bench_modulation_shares);
+criterion_main!(benches);

@@ -46,7 +46,6 @@ fn main() {
         // Slot-level throughput dynamics of the PCell.
         let slot_tput: Vec<f64> = record
             .trace
-            .records
             .iter()
             .filter(|r| r.carrier == 0 && r.direction == Direction::Dl)
             .map(|r| f64::from(r.delivered_bits) / 0.5e-3 / 1e6)

@@ -9,12 +9,18 @@
 //! ```text
 //! cargo run --release -p midband5g-bench --bin perf_baseline
 //! cargo run --release -p midband5g-bench --bin perf_baseline -- --quick
+//! cargo run --release -p midband5g-bench --bin perf_baseline -- --streaming
 //! cargo run --release -p midband5g-bench --bin perf_baseline -- --out /tmp/b.json
 //! ```
+//!
+//! `--streaming` additionally runs the bounded-memory campaign path
+//! (`Campaign::run_streaming`) and records its peak retained records and
+//! per-record byte footprint.
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use midband5g::measure::campaign::Campaign;
 use midband5g::measure::session::{SessionResult, SessionSpec};
 use midband5g::operators::Operator;
 use midband5g::radio_channel::channel::{ChannelConfig, ChannelSimulator};
@@ -53,6 +59,23 @@ struct SessionFigure {
     wall_ms: f64,
 }
 
+/// Memory profile of the bounded-memory streaming campaign (`--streaming`).
+#[derive(Debug, Serialize)]
+struct StreamingFigure {
+    /// Sessions in the streamed campaign.
+    sessions: u64,
+    /// Slot records emitted across the whole campaign.
+    total_records: u64,
+    /// High-water mark of records buffered at once (`kpi.peak_retained_records`).
+    peak_retained_records: i64,
+    /// Columnar heap bytes per retained record (one materialised session).
+    bytes_per_record: f64,
+    /// `size_of::<SlotKpi>()`: what the AoS row form costs per record.
+    aos_bytes_per_record: u64,
+    /// Wall-clock milliseconds for the streamed campaign.
+    wall_ms: f64,
+}
+
 /// The file written to `BENCH_slotloop.json`.
 #[derive(Debug, Serialize)]
 struct Baseline {
@@ -64,6 +87,8 @@ struct Baseline {
     scenarios: Vec<Scenario>,
     /// Full-session wall-clock figures.
     sessions: Vec<SessionFigure>,
+    /// Streaming-campaign memory profile; absent without `--streaming`.
+    streaming: Option<StreamingFigure>,
 }
 
 /// Measure two step functions in alternating rounds. Returns the best
@@ -115,6 +140,7 @@ fn measure_pair(
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let quick = argv.iter().any(|a| a == "--quick");
+    let streaming = argv.iter().any(|a| a == "--streaming");
     let out = argv
         .iter()
         .position(|a| a == "--out")
@@ -197,14 +223,43 @@ fn main() {
         });
     }
 
+    let streaming_fig = streaming.then(|| {
+        let campaign = Campaign {
+            session_duration_s: if quick { 1.0 } else { 10.0 },
+            ..Campaign::standard(Operator::VodafoneItaly, 31)
+        };
+        let start = Instant::now();
+        let aggregates = campaign.run_streaming(0.5);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        // One materialised session gives the columnar footprint per record.
+        let trace = SessionResult::run(campaign.specs()[0]).trace;
+        StreamingFigure {
+            sessions: campaign.sessions,
+            total_records: aggregates.records(),
+            peak_retained_records: midband5g::obs::registry()
+                .gauge("kpi.peak_retained_records")
+                .get(),
+            bytes_per_record: trace.heap_bytes() as f64 / trace.len().max(1) as f64,
+            aos_bytes_per_record: std::mem::size_of::<midband5g::ran::kpi::SlotKpi>() as u64,
+            wall_ms,
+        }
+    });
+
     let baseline = Baseline {
         generated_by: format!(
-            "cargo run --release -p midband5g-bench --bin perf_baseline{}",
-            if quick { " -- --quick" } else { "" }
+            "cargo run --release -p midband5g-bench --bin perf_baseline{}{}",
+            if quick || streaming { " --" } else { "" },
+            match (quick, streaming) {
+                (true, true) => " --quick --streaming",
+                (true, false) => " --quick",
+                (false, true) => " --streaming",
+                (false, false) => "",
+            }
         ),
         slots_per_variant: slots,
         scenarios,
         sessions,
+        streaming: streaming_fig,
     };
 
     println!("slot-loop baseline ({slots} slots per variant)");
@@ -216,6 +271,19 @@ fn main() {
     }
     for s in &baseline.sessions {
         println!("  session {:<14} {:.1} s simulated in {:.0} ms", s.operator, s.duration_s, s.wall_ms);
+    }
+    if let Some(f) = &baseline.streaming {
+        println!(
+            "  streaming {} sessions: {} records, peak retained {} ({:.2}% of total), \
+             {:.1} B/record columnar vs {} B/record AoS, {:.0} ms",
+            f.sessions,
+            f.total_records,
+            f.peak_retained_records,
+            f.peak_retained_records as f64 * 100.0 / f.total_records.max(1) as f64,
+            f.bytes_per_record,
+            f.aos_bytes_per_record,
+            f.wall_ms
+        );
     }
 
     match serde_json::to_string_pretty(&baseline) {

@@ -317,7 +317,7 @@ pub fn handover_study(duration_s: f64, seed: u64) -> Vec<HandoverRow> {
             });
             let mut handovers = 0u64;
             let mut prev = None;
-            for r in session.trace.records.iter().filter(|r| r.carrier == 0) {
+            for r in session.trace.iter().filter(|r| r.carrier == 0) {
                 if let Some(p) = prev {
                     if p != r.serving_site {
                         handovers += 1;

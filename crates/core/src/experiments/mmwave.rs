@@ -43,7 +43,6 @@ fn run_one(op: Operator, tech: &str, scenario: &str, duration_s: f64, seed: u64)
     let slot_s = op.profile().carriers[0].cell.slot_s();
     let slot_tput: Vec<f64> = session
         .trace
-        .records
         .iter()
         .filter(|r| r.carrier == 0 && r.direction == Direction::Dl)
         .map(|r| f64::from(r.delivered_bits) / slot_s / 1e6)

@@ -62,7 +62,7 @@ fn participant(
 }
 
 fn outcome(trace: &KpiTrace, distance_m: f64) -> LocationOutcome {
-    let scheduled: Vec<&ran::kpi::SlotKpi> =
+    let scheduled: Vec<ran::kpi::SlotKpi> =
         trace.direction(Direction::Dl).filter(|r| r.scheduled).collect();
     let mean_rbs = scheduled.iter().map(|r| f64::from(r.n_prb)).sum::<f64>()
         / scheduled.len().max(1) as f64;

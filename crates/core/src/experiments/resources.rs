@@ -67,7 +67,6 @@ pub fn figure4(sessions: u64, duration_s: f64, seed: u64) -> Vec<MaxRbRow> {
                 // primary carrier (as the paper's per-channel figure does).
                 let max = r
                     .trace
-                    .records
                     .iter()
                     .filter(|k| k.carrier == 0 && k.direction == Direction::Dl)
                     .map(|k| k.n_prb)

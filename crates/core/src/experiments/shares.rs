@@ -34,7 +34,7 @@ pub struct LayerShareRow {
 fn pooled(op: Operator, sessions: u64, duration_s: f64, seed: u64) -> KpiTrace {
     let mut t = KpiTrace::new();
     for r in run_campaign(op, sessions, duration_s, seed) {
-        t.records.extend(r.trace.records);
+        t.extend(r.trace.iter());
     }
     t
 }

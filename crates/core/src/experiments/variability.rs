@@ -44,8 +44,7 @@ pub fn slot_series(result: &SessionResult) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let mut layers = Vec::new();
     let mut last_mcs = 0.0;
     let mut last_layers = 0.0;
-    for r in result.trace.records.iter().filter(|r| r.carrier == 0 && r.direction == Direction::Dl)
-    {
+    for r in result.trace.iter().filter(|r| r.carrier == 0 && r.direction == Direction::Dl) {
         tput.push(f64::from(r.delivered_bits) / slot_s / 1e6);
         if r.scheduled {
             last_mcs = f64::from(r.mcs);
@@ -133,9 +132,8 @@ pub fn figure13(duration_s: f64, seed: u64) -> TimeSeriesView {
         seed,
     });
     let bin_s = 0.06;
-    let dl: Vec<&ran::kpi::SlotKpi> = result
+    let dl: Vec<ran::kpi::SlotKpi> = result
         .trace
-        .records
         .iter()
         .filter(|r| r.carrier == 0 && r.direction == Direction::Dl)
         .collect();

@@ -50,9 +50,8 @@ pub fn stream_over(
     let qoe = QoeMetrics::from_log(&log, ladder);
 
     // PHY-side variability at 150 ms (the Fig. 15 right-panel scale).
-    let scheduled: Vec<&ran::kpi::SlotKpi> = session
+    let scheduled: Vec<ran::kpi::SlotKpi> = session
         .trace
-        .records
         .iter()
         .filter(|r| r.carrier == 0 && r.direction == Direction::Dl && r.scheduled)
         .collect();

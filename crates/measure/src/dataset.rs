@@ -10,8 +10,8 @@
 //! released captures.
 
 use crate::session::{SessionResult, SessionSpec};
-use ran::kpi::KpiTrace;
-use serde::{Deserialize, Serialize};
+use ran::kpi::{KpiTrace, CHUNK_RECORDS};
+use serde::{Deserialize, Serialize, Value};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -43,8 +43,11 @@ pub struct Dataset {
     root: PathBuf,
 }
 
-/// Current manifest format version.
-pub const DATASET_VERSION: u32 = 1;
+/// Current manifest format version. Version 2 stores session traces in
+/// the columnar wire form (one concatenated array per KPI column, flag
+/// columns bit-packed into `u64` words); version 1 stored an array of row
+/// objects. [`Dataset::load_session`] reads both.
+pub const DATASET_VERSION: u32 = 2;
 
 impl Dataset {
     /// Open (or designate) a dataset directory.
@@ -87,12 +90,16 @@ impl Dataset {
                 r.spec.operator.acronym().replace(['[', ']'], ""),
                 r.spec.seed
             );
-            let record =
-                SessionRecord { spec: r.spec, trace: KpiTrace { records: r.trace.records.clone() } };
+            // Serialize straight from the borrowed result — the columnar
+            // trace is encoded column by column, never cloned.
+            let record = Value::Object(vec![
+                ("spec".to_string(), r.spec.to_value()),
+                ("trace".to_string(), r.trace.to_value()),
+            ]);
             let json = serde_json::to_string(&record)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             std::fs::write(self.sessions_dir().join(&name), json)?;
-            manifest.total_records += r.trace.records.len() as u64;
+            manifest.total_records += r.trace.len() as u64;
             manifest.sessions.push(name);
         }
         let json = serde_json::to_string_pretty(&manifest)
@@ -122,19 +129,20 @@ impl Dataset {
     }
 }
 
-/// Render a KPI trace as CSV (one row per slot record) — the
-/// spreadsheet-friendly form the paper's artifact repository ships next
-/// to its raw captures.
-pub fn trace_to_csv(trace: &KpiTrace) -> String {
-    let mut out = String::with_capacity(trace.records.len() * 96 + 128);
-    out.push_str(
+/// Stream a KPI trace as CSV into a writer, one columnar chunk at a time:
+/// rows are formatted into a buffer that is flushed every
+/// [`CHUNK_RECORDS`] records, so exporting a multi-minute trace never
+/// holds more than one chunk's worth of text in memory.
+pub fn write_csv<W: io::Write>(trace: &KpiTrace, writer: &mut W) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut buf = String::with_capacity(CHUNK_RECORDS * 96 + 128);
+    buf.push_str(
         "slot,time_s,carrier,direction,scheduled,n_prb,n_re,mcs,modulation,layers,\
          tbs_bits,delivered_bits,is_retx,block_error,cqi,sinr_db,rsrp_dbm,rsrq_db,serving_site\n",
     );
-    for r in &trace.records {
-        use std::fmt::Write;
+    for (i, r) in trace.iter().enumerate() {
         let _ = writeln!(
-            out,
+            buf,
             "{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{}",
             r.slot,
             r.time_s,
@@ -159,8 +167,22 @@ pub fn trace_to_csv(trace: &KpiTrace) -> String {
             r.rsrq_db,
             r.serving_site,
         );
+        if (i + 1) % CHUNK_RECORDS == 0 {
+            writer.write_all(buf.as_bytes())?;
+            buf.clear();
+        }
     }
-    out
+    writer.write_all(buf.as_bytes())?;
+    writer.flush()
+}
+
+/// Render a KPI trace as CSV (one row per slot record) — the
+/// spreadsheet-friendly form the paper's artifact repository ships next
+/// to its raw captures. Convenience wrapper over [`write_csv`].
+pub fn trace_to_csv(trace: &KpiTrace) -> String {
+    let mut out = Vec::with_capacity(trace.len() * 96 + 128);
+    write_csv(trace, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("CSV rows are ASCII")
 }
 
 #[cfg(test)]
@@ -191,7 +213,7 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         for (orig, back) in results.iter().zip(&loaded) {
             assert_eq!(orig.spec.seed, back.spec.seed);
-            assert_eq!(orig.trace.records.len(), back.trace.records.len());
+            assert_eq!(orig.trace.len(), back.trace.len());
             // Figures recompute identically from the export.
             assert_eq!(
                 orig.trace.mean_throughput_mbps(Direction::Dl),
@@ -214,7 +236,7 @@ mod tests {
         let r = SessionResult::run(SessionSpec::stationary(Operator::VodafoneGermany, 0, 0.2, 4));
         let csv = trace_to_csv(&r.trace);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), r.trace.records.len() + 1, "header + one row per record");
+        assert_eq!(lines.len(), r.trace.len() + 1, "header + one row per record");
         assert!(lines[0].starts_with("slot,time_s,carrier,direction"));
         let cols = lines[0].split(',').count();
         for line in &lines[1..] {
@@ -234,7 +256,25 @@ mod tests {
         ))];
         let ds = Dataset::at(tmpdir("counts"));
         let manifest = ds.export("one", &results).unwrap();
-        assert_eq!(manifest.total_records, results[0].trace.records.len() as u64);
+        assert_eq!(manifest.total_records, results[0].trace.len() as u64);
         std::fs::remove_dir_all(ds.root()).unwrap();
+    }
+
+    #[test]
+    fn v1_fixture_still_loads() {
+        // A committed dataset exported before the columnar refactor:
+        // row-object traces, version 1 manifest.
+        let ds = Dataset::at(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v1_dataset"));
+        let manifest = ds.manifest().unwrap();
+        assert_eq!(manifest.version, 1);
+        let record = ds.load_session(&manifest.sessions[0]).unwrap();
+        assert_eq!(record.trace.len(), 3);
+        let first = record.trace.get(0).unwrap();
+        assert_eq!(first.slot, 0);
+        assert_eq!(first.modulation, ran::kpi::Modulation::Qam256);
+        assert!(first.scheduled);
+        assert_eq!(record.trace.iter().filter(|r| r.direction == Direction::Ul).count(), 1);
+        // load_all follows the manifest the same way.
+        assert_eq!(ds.load_all().unwrap().len(), manifest.sessions.len());
     }
 }

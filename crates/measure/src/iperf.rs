@@ -25,14 +25,7 @@ pub fn run_iperf(
 /// Strip the LTE UL leg from a trace, leaving NR-only records — what the
 /// paper's per-channel UL analysis (Figs. 9/10) isolates.
 pub fn nr_only(trace: &KpiTrace) -> KpiTrace {
-    KpiTrace {
-        records: trace
-            .records
-            .iter()
-            .copied()
-            .filter(|r| r.carrier != LTE_CARRIER_INDEX)
-            .collect(),
-    }
+    trace.iter().filter(|r| r.carrier != LTE_CARRIER_INDEX).collect()
 }
 
 /// Completion time of a finite DL transfer of `megabits` over an
@@ -62,23 +55,21 @@ pub fn transfer_completion_s(
     let mut trace = KpiTrace::new();
     let ticks = (max_duration_s / sim.base_slot_s()).round() as u64;
     for _ in 0..ticks {
-        let before = trace.records.len();
+        let before = trace.len();
         sim.step_into(&mut trace);
-        for r in &trace.records[before..] {
+        for r in trace.iter_from(before) {
             delivered += f64::from(r.delivered_bits);
             if delivered >= target_bits {
-                // Return the time of the record that crossed the target.
-                // A carrier-aggregated tick emits several records with
-                // different timestamps, so the tick's *last* record can
-                // postdate (or, under mixed numerology, predate) the
-                // actual crossing.
+                // Return the time of the record that crossed the target:
+                // a carrier-aggregated tick emits several records, and
+                // the crossing one need not be the tick's last.
                 return Some(r.time_s);
             }
         }
         // Keep memory bounded: each record carries its own absolute
         // timestamp, so earlier records can be dropped freely.
-        if trace.records.len() > 50_000 {
-            trace.records.clear();
+        if trace.len() > 50_000 {
+            trace.clear();
         }
     }
     None
@@ -86,14 +77,7 @@ pub fn transfer_completion_s(
 
 /// Only the LTE UL leg (Fig. 10's `LTE_US` box).
 pub fn lte_only(trace: &KpiTrace) -> KpiTrace {
-    KpiTrace {
-        records: trace
-            .records
-            .iter()
-            .copied()
-            .filter(|r| r.carrier == LTE_CARRIER_INDEX)
-            .collect(),
-    }
+    trace.iter().filter(|r| r.carrier == LTE_CARRIER_INDEX).collect()
 }
 
 #[cfg(test)]
@@ -107,7 +91,6 @@ mod tests {
         assert!(r.trace.mean_throughput_mbps(Direction::Dl) > 0.0);
         let ul_bits: u64 = r
             .trace
-            .records
             .iter()
             .filter(|x| x.direction == Direction::Ul)
             .map(|x| u64::from(x.delivered_bits))
@@ -150,16 +133,19 @@ mod tests {
     #[test]
     fn completion_time_is_the_crossing_records_time() {
         // T-Mobile aggregates n41 (0.5 ms slots) with n25 (1 ms slots),
-        // so one tick emits records at different timestamps — exactly
-        // the case where "time of the tick's last record" is wrong.
+        // so one carrier-aggregated tick emits several records; the
+        // completion time must come from the record that crossed the
+        // target, not from whatever the tick emitted last. (Records in
+        // one tick share their slot-START timestamp, so the check is on
+        // record identity, not on the times diverging.)
         let operator = Operator::TMobileUs;
         let mobility = MobilityKind::Stationary { spot: 0 };
         let megabits = 80.0;
         let max_duration_s = 30.0;
 
         // Scan seeds for a run where the crossing record is *not* the
-        // tick's last record — the only case that distinguishes the fix
-        // from the original "last record of the tick" behaviour.
+        // tick's last record — the case where an early-exit scan and a
+        // whole-tick scan actually see different records.
         let mut checked_non_degenerate = false;
         for seed in 0..32u64 {
             // Replay the identical simulation and locate the record
@@ -187,12 +173,12 @@ mod tests {
             let ticks = (max_duration_s / sim.base_slot_s()).round() as u64;
             let mut crossing = None;
             'ticks: for _ in 0..ticks {
-                let before = trace.records.len();
+                let before = trace.len();
                 sim.step_into(&mut trace);
-                for i in before..trace.records.len() {
-                    delivered += f64::from(trace.records[i].delivered_bits);
+                for i in before..trace.len() {
+                    delivered += f64::from(trace.get(i).unwrap().delivered_bits);
                     if delivered >= target_bits {
-                        crossing = Some((trace.records[i], *trace.records.last().unwrap()));
+                        crossing = Some((trace.get(i).unwrap(), trace.last().unwrap()));
                         break 'ticks;
                     }
                 }
@@ -201,7 +187,7 @@ mod tests {
             let got = transfer_completion_s(operator, mobility, megabits, max_duration_s, seed)
                 .expect("80 Mb completes well within 30 s");
             assert_eq!(got, crossing.time_s, "seed {seed}");
-            if crossing.time_s != tick_last.time_s {
+            if crossing != tick_last {
                 checked_non_degenerate = true;
                 break;
             }
@@ -217,7 +203,7 @@ mod tests {
         let r = run_iperf(Operator::TMobileUs, MobilityKind::Stationary { spot: 0 }, true, true, 1.0, 4);
         let nr = nr_only(&r.trace);
         let lte = lte_only(&r.trace);
-        assert_eq!(nr.records.len() + lte.records.len(), r.trace.records.len());
-        assert!(!lte.records.is_empty(), "T-Mobile routes UL to LTE");
+        assert_eq!(nr.len() + lte.len(), r.trace.len());
+        assert!(!lte.is_empty(), "T-Mobile routes UL to LTE");
     }
 }

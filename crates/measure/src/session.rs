@@ -5,7 +5,8 @@ use radio_channel::geometry::Position;
 use radio_channel::mobility::MobilityModel;
 use radio_channel::rng::SeedTree;
 use ran::carrier::TrafficPattern;
-use ran::kpi::{Direction, KpiTrace};
+use ran::kpi::{Direction, KpiTrace, SlotKpi};
+use ran::sink::SlotSink;
 use serde::{Deserialize, Serialize};
 
 /// The mobility scenarios of the study (§2, §7).
@@ -83,9 +84,37 @@ pub struct SessionResult {
     pub trace: KpiTrace,
 }
 
+/// Counts records on their way into the wrapped sink, so session-level
+/// accounting works for any sink without a trace to measure afterwards.
+struct CountingSink<'a, S: SlotSink> {
+    inner: &'a mut S,
+    pushed: u64,
+}
+
+impl<S: SlotSink> SlotSink for CountingSink<'_, S> {
+    fn push(&mut self, kpi: &SlotKpi) {
+        self.pushed += 1;
+        self.inner.push(kpi);
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
+}
+
 impl SessionResult {
     /// Execute a spec.
     pub fn run(spec: SessionSpec) -> SessionResult {
+        let mut trace = KpiTrace::new();
+        Self::run_with_sink(spec, &mut trace);
+        SessionResult { spec, trace }
+    }
+
+    /// Execute a spec, streaming every record into `sink` instead of
+    /// materialising a trace; returns the record count. This is the
+    /// bounded-memory path: with an aggregating sink, memory stays
+    /// independent of session duration.
+    pub fn run_with_sink<S: SlotSink>(spec: SessionSpec, sink: &mut S) -> u64 {
         let _span = obs::span("session.run");
         let violations_before = obs::audit::total_violations();
         let profile = spec.operator.profile();
@@ -97,10 +126,12 @@ impl SessionResult {
             },
             &spec.seeds(),
         );
-        let result = SessionResult { spec, trace: sim.run(spec.duration_s) };
+        let mut counting = CountingSink { inner: sink, pushed: 0 };
+        sim.run_into(spec.duration_s, &mut counting);
+        let records = counting.pushed;
         let reg = obs::registry();
         reg.counter("session.runs").inc();
-        reg.counter("session.records").add(result.trace.records.len() as u64);
+        reg.counter("session.records").add(records);
         // Attribution is approximate under parallel campaigns (another
         // worker's violation can land between the two reads), but the
         // zero-violation gate only cares whether *any* session tripped.
@@ -109,13 +140,15 @@ impl SessionResult {
         if obs::audit::total_violations() > violations_before {
             tripped.inc();
         }
-        result
+        records
     }
 
     /// Bytes delivered over the session (both directions, all legs) — the
-    /// "Data consumed on 5G" Table 1 aggregate.
+    /// "Data consumed on 5G" Table 1 aggregate. Bits are summed before
+    /// the byte conversion, so odd-sized blocks don't each shed up to
+    /// seven bits to truncation.
     pub fn bytes_delivered(&self) -> u64 {
-        self.trace.records.iter().map(|r| u64::from(r.delivered_bits) / 8).sum()
+        self.trace.delivered_bits_total() / 8
     }
 
     /// Session minutes.
@@ -147,7 +180,7 @@ mod tests {
         let spec = SessionSpec::stationary(Operator::TelekomGermany, 1, 1.0, 7);
         let a = SessionResult::run(spec);
         let b = SessionResult::run(spec);
-        assert_eq!(a.trace.records.len(), b.trace.records.len());
+        assert_eq!(a.trace.len(), b.trace.len());
         assert_eq!(a.bytes_delivered(), b.bytes_delivered());
     }
 
@@ -159,8 +192,8 @@ mod tests {
         // identical layouts + config ⇒ near-identical RSRP.
         let a = SessionResult::run(SessionSpec::stationary(Operator::VodafoneSpain, 0, 0.5, 9));
         let b = SessionResult::run(SessionSpec::stationary(Operator::OrangeSpain90, 0, 0.5, 9));
-        let rsrp_a = a.trace.records[0].rsrp_dbm;
-        let rsrp_b = b.trace.records[0].rsrp_dbm;
+        let rsrp_a = a.trace.get(0).unwrap().rsrp_dbm;
+        let rsrp_b = b.trace.get(0).unwrap().rsrp_dbm;
         assert!((rsrp_a - rsrp_b).abs() < 1e-9, "{rsrp_a} vs {rsrp_b}");
     }
 
@@ -177,7 +210,44 @@ mod tests {
                 seed: 1,
             };
             let r = SessionResult::run(spec);
-            assert!(!r.trace.records.is_empty());
+            assert!(!r.trace.is_empty());
         }
+    }
+
+    #[test]
+    fn bytes_delivered_sums_bits_before_dividing() {
+        // Two odd-sized blocks of 7 and 9 bits: per-record truncation
+        // would report 0 + 1 = 1 byte; summing bits first gives 16 / 8 = 2.
+        let spec = SessionSpec::stationary(Operator::VodafoneSpain, 0, 0.001, 1);
+        let mut trace = KpiTrace::new();
+        for (slot, bits) in [(0u64, 7u32), (1, 9)] {
+            let mut r = ran::kpi::SlotKpi::idle(
+                slot,
+                slot as f64 * 0.0005,
+                0,
+                Direction::Dl,
+                10,
+                15.0,
+                -85.0,
+                -11.0,
+                0,
+            );
+            r.scheduled = true;
+            r.tbs_bits = bits;
+            r.delivered_bits = bits;
+            trace.push(r);
+        }
+        let result = SessionResult { spec, trace };
+        assert_eq!(result.bytes_delivered(), 2);
+    }
+
+    #[test]
+    fn run_with_sink_matches_run() {
+        let spec = SessionSpec::stationary(Operator::VodafoneItaly, 0, 0.5, 11);
+        let baseline = SessionResult::run(spec);
+        let mut streamed = KpiTrace::new();
+        let n = SessionResult::run_with_sink(spec, &mut streamed);
+        assert_eq!(n as usize, baseline.trace.len());
+        assert_eq!(streamed, baseline.trace);
     }
 }

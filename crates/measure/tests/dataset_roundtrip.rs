@@ -42,7 +42,7 @@ fn export_import_reproduces_totals_and_traces() {
     assert_eq!(manifest.sessions.len(), all.len());
     assert_eq!(
         manifest.total_records,
-        all.iter().map(|r| r.trace.records.len() as u64).sum::<u64>()
+        all.iter().map(|r| r.trace.len() as u64).sum::<u64>()
     );
 
     let loaded = ds.load_all().unwrap();

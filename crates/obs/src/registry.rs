@@ -59,6 +59,13 @@ impl Gauge {
         self.0.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Shift the value by `delta` (level gauges fed by increments and
+    /// decrements, e.g. records currently retained in memory).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -157,7 +164,7 @@ pub struct Registry {
     entries: Mutex<Vec<Entry>>,
 }
 
-/// One histogram in a [`Snapshot`].
+/// One histogram in a [`Snapshot`](crate::Snapshot).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Metric name.

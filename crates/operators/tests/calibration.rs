@@ -44,14 +44,8 @@ fn mean_tput(op: Operator, n_sessions: u64, duration_s: f64) -> (f64, f64) {
         dl += t.mean_throughput_mbps(Direction::Dl);
         // UL includes the LTE leg when routed there — but for Fig. 9/10 we
         // want the NR UL only; filter by carrier.
-        let nr_ul: KpiTrace = KpiTrace {
-            records: t
-                .records
-                .iter()
-                .copied()
-                .filter(|r| r.carrier != ran::lte::LTE_CARRIER_INDEX)
-                .collect(),
-        };
+        let nr_ul: KpiTrace =
+            t.iter().filter(|r| r.carrier != ran::lte::LTE_CARRIER_INDEX).collect();
         ul += nr_ul.mean_throughput_mbps(Direction::Ul);
     }
     (dl / n_sessions as f64, ul / n_sessions as f64)
@@ -115,14 +109,12 @@ fn ul_ordering_contrasts() {
 fn tmobile_nr_ul_is_idle_under_lte_routing() {
     let t = run_session(Operator::TMobileUs, 7, 4.0);
     let nr_ul_bits: u64 = t
-        .records
         .iter()
         .filter(|r| r.direction == Direction::Ul && r.carrier != ran::lte::LTE_CARRIER_INDEX)
         .map(|r| r.delivered_bits as u64)
         .sum();
     assert_eq!(nr_ul_bits, 0, "T-Mobile routes UL to LTE");
     let lte_bits: u64 = t
-        .records
         .iter()
         .filter(|r| r.carrier == ran::lte::LTE_CARRIER_INDEX)
         .map(|r| r.delivered_bits as u64)
@@ -134,7 +126,7 @@ fn tmobile_nr_ul_is_idle_under_lte_routing() {
 fn pooled_trace(op: Operator, n_sessions: u64, duration_s: f64) -> KpiTrace {
     let mut t = KpiTrace::new();
     for s in 0..n_sessions {
-        t.records.extend(run_session(op, 2000 + s, duration_s).records);
+        t.extend(run_session(op, 2000 + s, duration_s).iter());
     }
     t
 }
@@ -205,19 +197,15 @@ fn calibration_report() {
         let mut ul_good_n = 0u32;
         for s in 0..12u64 {
             let session = run_session(op, 1000 + s, 5.0);
-            let nr_only = KpiTrace {
-                records: session
-                    .records
-                    .iter()
-                    .copied()
-                    .filter(|r| r.carrier != ran::lte::LTE_CARRIER_INDEX)
-                    .collect(),
-            };
+            let nr_only: KpiTrace = session
+                .iter()
+                .filter(|r| r.carrier != ran::lte::LTE_CARRIER_INDEX)
+                .collect();
             if let Some(v) = nr_only.mean_throughput_mbps_where_cqi(Direction::Ul, 0.1, 12) {
                 ul_good_sum += v;
                 ul_good_n += 1;
             }
-            t.records.extend(session.records);
+            t.extend(session.iter());
         }
         let shares = t.layer_shares();
         let ul_good = if ul_good_n > 0 { ul_good_sum / f64::from(ul_good_n) } else { 0.0 };

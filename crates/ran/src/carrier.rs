@@ -228,7 +228,7 @@ impl Carrier {
     ) -> CarrierSlotOutput {
         let slot = self.slot;
         self.slot += 1;
-        let time_s = self.slot as f64 * self.slot_s();
+        let time_s = slot as f64 * self.slot_s();
 
         let ch = self.channel.step_at(position, moved_m);
         self.dl_traffic.arrive(self.cfg.slot_s());
@@ -565,7 +565,7 @@ mod tests {
     #[test]
     fn retransmissions_happen_and_recover_bits() {
         let t = run_dl(90, 350.0, 7, 30_000);
-        let retx: Vec<&SlotKpi> =
+        let retx: Vec<SlotKpi> =
             t.direction(Direction::Dl).filter(|r| r.is_retx).collect();
         assert!(!retx.is_empty(), "expected retransmissions at cell edge");
         assert!(retx.iter().any(|r| r.delivered_bits > 0), "some retx succeed");

@@ -6,9 +6,22 @@
 //! modulation, MIMO layers, RB/RE allocation, CQI, BLER events and signal
 //! measurements. [`KpiTrace`] aggregates them into the time series the
 //! `analysis` crate resamples.
+//!
+//! # Columnar storage
+//!
+//! A trace is stored **column-wise** (structure-of-arrays), in chunks of
+//! [`CHUNK_RECORDS`] records: one parallel vector per scalar field plus
+//! bit-packed flag columns for `direction`/`scheduled`/`is_retx`/
+//! `block_error`. Aggregations such as [`KpiTrace::throughput_series_mbps`]
+//! or [`KpiTrace::modulation_shares`] then touch only the columns they
+//! need (a few bytes per record) instead of dragging ~100-byte AoS
+//! records through cache. [`SlotKpi`] remains the unit of *exchange*:
+//! [`KpiTrace::push`] takes one, iterators yield them by value, and the
+//! streaming [`crate::sink::SlotSink`] trait moves them between producers
+//! and sinks without materialising a full trace at all.
 
-use nr_phy::mcs::Modulation;
-use serde::{Deserialize, Serialize};
+pub use nr_phy::mcs::Modulation;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Link direction of a KPI record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,39 +114,330 @@ impl SlotKpi {
     }
 }
 
-/// A full slot-level trace with aggregation helpers.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Records per columnar chunk. A power of two and a multiple of 64, so
+/// bit-packed flag columns of full chunks concatenate word-exactly and
+/// `index / CHUNK_RECORDS` addressing is a shift.
+pub const CHUNK_RECORDS: usize = 4096;
+
+/// Stable wire code of a modulation order (the dataset v2 column
+/// encoding: one byte per record instead of a variant-name string).
+pub fn modulation_code(modulation: Modulation) -> u8 {
+    match modulation {
+        Modulation::Qpsk => 0,
+        Modulation::Qam16 => 1,
+        Modulation::Qam64 => 2,
+        Modulation::Qam256 => 3,
+    }
+}
+
+/// Inverse of [`modulation_code`].
+pub fn modulation_from_code(code: u8) -> Option<Modulation> {
+    match code {
+        0 => Some(Modulation::Qpsk),
+        1 => Some(Modulation::Qam16),
+        2 => Some(Modulation::Qam64),
+        3 => Some(Modulation::Qam256),
+        _ => None,
+    }
+}
+
+const MODULATIONS: [Modulation; 4] =
+    [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64, Modulation::Qam256];
+
+fn bit_get(words: &[u64], i: usize) -> bool {
+    (words[i >> 6] >> (i & 63)) & 1 == 1
+}
+
+fn bit_push(words: &mut Vec<u64>, i: usize, value: bool) {
+    if i & 63 == 0 {
+        words.push(0);
+    }
+    if value {
+        *words.last_mut().expect("word pushed above") |= 1u64 << (i & 63);
+    }
+}
+
+/// One fixed-capacity columnar block of up to [`CHUNK_RECORDS`] records.
+#[derive(Debug, Clone, Default)]
+struct Chunk {
+    len: usize,
+    slot: Vec<u64>,
+    time_s: Vec<f64>,
+    carrier: Vec<u8>,
+    n_prb: Vec<u16>,
+    n_re: Vec<u32>,
+    mcs: Vec<u8>,
+    modulation: Vec<u8>,
+    layers: Vec<u8>,
+    tbs_bits: Vec<u32>,
+    delivered_bits: Vec<u32>,
+    cqi: Vec<u8>,
+    sinr_db: Vec<f64>,
+    rsrp_dbm: Vec<f64>,
+    rsrq_db: Vec<f64>,
+    serving_site: Vec<u32>,
+    /// Bit-packed flag columns, one bit per record.
+    ul: Vec<u64>,
+    scheduled: Vec<u64>,
+    is_retx: Vec<u64>,
+    block_error: Vec<u64>,
+}
+
+impl Chunk {
+    /// A chunk with every column pre-sized to [`CHUNK_RECORDS`], so pushes
+    /// into it never reallocate.
+    fn preallocated() -> Chunk {
+        Chunk {
+            len: 0,
+            slot: Vec::with_capacity(CHUNK_RECORDS),
+            time_s: Vec::with_capacity(CHUNK_RECORDS),
+            carrier: Vec::with_capacity(CHUNK_RECORDS),
+            n_prb: Vec::with_capacity(CHUNK_RECORDS),
+            n_re: Vec::with_capacity(CHUNK_RECORDS),
+            mcs: Vec::with_capacity(CHUNK_RECORDS),
+            modulation: Vec::with_capacity(CHUNK_RECORDS),
+            layers: Vec::with_capacity(CHUNK_RECORDS),
+            tbs_bits: Vec::with_capacity(CHUNK_RECORDS),
+            delivered_bits: Vec::with_capacity(CHUNK_RECORDS),
+            cqi: Vec::with_capacity(CHUNK_RECORDS),
+            sinr_db: Vec::with_capacity(CHUNK_RECORDS),
+            rsrp_dbm: Vec::with_capacity(CHUNK_RECORDS),
+            rsrq_db: Vec::with_capacity(CHUNK_RECORDS),
+            serving_site: Vec::with_capacity(CHUNK_RECORDS),
+            ul: Vec::with_capacity(CHUNK_RECORDS / 64),
+            scheduled: Vec::with_capacity(CHUNK_RECORDS / 64),
+            is_retx: Vec::with_capacity(CHUNK_RECORDS / 64),
+            block_error: Vec::with_capacity(CHUNK_RECORDS / 64),
+        }
+    }
+
+    fn push(&mut self, k: &SlotKpi) {
+        let i = self.len;
+        debug_assert!(i < CHUNK_RECORDS);
+        self.slot.push(k.slot);
+        self.time_s.push(k.time_s);
+        self.carrier.push(k.carrier);
+        self.n_prb.push(k.n_prb);
+        self.n_re.push(k.n_re);
+        self.mcs.push(k.mcs);
+        self.modulation.push(modulation_code(k.modulation));
+        self.layers.push(k.layers);
+        self.tbs_bits.push(k.tbs_bits);
+        self.delivered_bits.push(k.delivered_bits);
+        self.cqi.push(k.cqi);
+        self.sinr_db.push(k.sinr_db);
+        self.rsrp_dbm.push(k.rsrp_dbm);
+        self.rsrq_db.push(k.rsrq_db);
+        self.serving_site.push(k.serving_site);
+        bit_push(&mut self.ul, i, k.direction == Direction::Ul);
+        bit_push(&mut self.scheduled, i, k.scheduled);
+        bit_push(&mut self.is_retx, i, k.is_retx);
+        bit_push(&mut self.block_error, i, k.block_error);
+        self.len = i + 1;
+    }
+
+    fn direction_at(&self, i: usize) -> Direction {
+        if bit_get(&self.ul, i) {
+            Direction::Ul
+        } else {
+            Direction::Dl
+        }
+    }
+
+    fn get(&self, i: usize) -> SlotKpi {
+        debug_assert!(i < self.len);
+        SlotKpi {
+            slot: self.slot[i],
+            time_s: self.time_s[i],
+            carrier: self.carrier[i],
+            direction: self.direction_at(i),
+            scheduled: bit_get(&self.scheduled, i),
+            n_prb: self.n_prb[i],
+            n_re: self.n_re[i],
+            mcs: self.mcs[i],
+            modulation: modulation_from_code(self.modulation[i])
+                .expect("chunk stores only valid modulation codes"),
+            layers: self.layers[i],
+            tbs_bits: self.tbs_bits[i],
+            delivered_bits: self.delivered_bits[i],
+            is_retx: bit_get(&self.is_retx, i),
+            block_error: bit_get(&self.block_error, i),
+            cqi: self.cqi[i],
+            sinr_db: self.sinr_db[i],
+            rsrp_dbm: self.rsrp_dbm[i],
+            rsrq_db: self.rsrq_db[i],
+            serving_site: self.serving_site[i],
+        }
+    }
+
+    /// Heap bytes held by this chunk's columns (capacity, not length).
+    fn heap_bytes(&self) -> usize {
+        self.slot.capacity() * 8
+            + self.time_s.capacity() * 8
+            + self.carrier.capacity()
+            + self.n_prb.capacity() * 2
+            + self.n_re.capacity() * 4
+            + self.mcs.capacity()
+            + self.modulation.capacity()
+            + self.layers.capacity()
+            + self.tbs_bits.capacity() * 4
+            + self.delivered_bits.capacity() * 4
+            + self.cqi.capacity()
+            + self.sinr_db.capacity() * 8
+            + self.rsrp_dbm.capacity() * 8
+            + self.rsrq_db.capacity() * 8
+            + self.serving_site.capacity() * 4
+            + (self.ul.capacity()
+                + self.scheduled.capacity()
+                + self.is_retx.capacity()
+                + self.block_error.capacity())
+                * 8
+    }
+}
+
+/// A full slot-level trace with aggregation helpers, stored column-wise
+/// (see the module docs for the layout).
+#[derive(Debug, Clone, Default)]
 pub struct KpiTrace {
-    /// The records, in slot order (possibly interleaved across carriers).
-    pub records: Vec<SlotKpi>,
+    chunks: Vec<Chunk>,
+    len: usize,
+    /// Largest inferred slot-end time seen so far (`time_s + slot_s`,
+    /// with `slot_s` recovered as `time_s / slot` for `slot > 0`).
+    max_end_s: f64,
+    /// Largest raw `time_s` seen — the duration fallback for degenerate
+    /// traces that only ever saw slot 0.
+    max_time_s: f64,
+}
+
+impl PartialEq for KpiTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
 }
 
 impl KpiTrace {
     /// Create an empty trace.
     pub fn new() -> Self {
-        KpiTrace { records: Vec::new() }
+        KpiTrace::default()
     }
 
-    /// Create an empty trace with room for `capacity` records, so
-    /// multi-minute sessions (hundreds of thousands of records) append
-    /// without reallocating mid-run.
+    /// Create an empty trace with chunk bookkeeping pre-sized for
+    /// `capacity` records, so multi-minute sessions (hundreds of
+    /// thousands of records) append without growing the chunk table
+    /// mid-run. Column storage itself is allocated one fixed-size chunk
+    /// at a time.
     pub fn with_capacity(capacity: usize) -> Self {
-        KpiTrace { records: Vec::with_capacity(capacity) }
+        KpiTrace {
+            chunks: Vec::with_capacity(capacity.div_ceil(CHUNK_RECORDS)),
+            len: 0,
+            max_end_s: 0.0,
+            max_time_s: 0.0,
+        }
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Append a record.
     pub fn push(&mut self, kpi: SlotKpi) {
-        self.records.push(kpi);
+        // (`is_none_or` would read better but needs Rust 1.82; MSRV is 1.75.)
+        let full = match self.chunks.last() {
+            Some(c) => c.len == CHUNK_RECORDS,
+            None => true,
+        };
+        if full {
+            self.chunks.push(Chunk::preallocated());
+        }
+        self.chunks.last_mut().expect("chunk pushed above").push(&kpi);
+        self.len += 1;
+        if kpi.slot > 0 {
+            // Slot-start timestamps lie on `slot * slot_s` grids, so the
+            // slot duration — and with it the slot's *end* — is
+            // recoverable from any record past slot 0.
+            let end = kpi.time_s + kpi.time_s / kpi.slot as f64;
+            if end > self.max_end_s {
+                self.max_end_s = end;
+            }
+        }
+        if kpi.time_s > self.max_time_s {
+            self.max_time_s = kpi.time_s;
+        }
+    }
+
+    /// Drop every record (keeps nothing allocated; the next push starts a
+    /// fresh chunk).
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
+        self.max_end_s = 0.0;
+        self.max_time_s = 0.0;
+    }
+
+    /// The record at `index`, materialised from the columns.
+    pub fn get(&self, index: usize) -> Option<SlotKpi> {
+        if index < self.len {
+            Some(self.chunks[index / CHUNK_RECORDS].get(index % CHUNK_RECORDS))
+        } else {
+            None
+        }
+    }
+
+    /// The last record, if any.
+    pub fn last(&self) -> Option<SlotKpi> {
+        self.len.checked_sub(1).and_then(|i| self.get(i))
+    }
+
+    /// Iterate over all records in push order, materialised by value.
+    pub fn iter(&self) -> Records<'_> {
+        self.iter_from(0)
+    }
+
+    /// Iterate from `index` to the end — the bounded-memory way to scan
+    /// "records appended since the last look" without re-walking the
+    /// whole trace.
+    pub fn iter_from(&self, index: usize) -> Records<'_> {
+        Records { trace: self, next: index.min(self.len) }
+    }
+
+    /// Approximate heap footprint of the column storage, bytes. Divide by
+    /// [`KpiTrace::len`] for the tracked bytes-per-record figure.
+    pub fn heap_bytes(&self) -> usize {
+        self.chunks.iter().map(Chunk::heap_bytes).sum()
     }
 
     /// Records of one direction.
-    pub fn direction(&self, direction: Direction) -> impl Iterator<Item = &SlotKpi> {
-        self.records.iter().filter(move |r| r.direction == direction)
+    pub fn direction(&self, direction: Direction) -> impl Iterator<Item = SlotKpi> + '_ {
+        self.iter().filter(move |r| r.direction == direction)
     }
 
-    /// Total simulated duration, seconds (from the last record's time).
+    /// Total simulated duration, seconds: the **end** of the latest slot
+    /// (slot-start timestamp plus one slot duration), not the start of
+    /// the last record — so a one-second, 2000-slot trace reports 1.0 s
+    /// and mean throughput is not inflated by a missing slot.
     pub fn duration_s(&self) -> f64 {
-        self.records.last().map(|r| r.time_s).unwrap_or(0.0)
+        if self.max_end_s > 0.0 {
+            self.max_end_s
+        } else {
+            self.max_time_s
+        }
+    }
+
+    /// Total bits credited as delivered over the whole trace (both
+    /// directions, all legs). Summed in 64-bit before any unit
+    /// conversion, so byte totals do not truncate per record.
+    pub fn delivered_bits_total(&self) -> u64 {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.delivered_bits.iter())
+            .map(|&b| u64::from(b))
+            .sum()
     }
 
     /// Mean goodput in Mbps over the trace for a direction (delivered bits
@@ -143,8 +447,15 @@ impl KpiTrace {
         if dur <= 0.0 {
             return 0.0;
         }
-        let bits: u64 =
-            self.direction(direction).map(|r| r.delivered_bits as u64).sum();
+        let want_ul = direction == Direction::Ul;
+        let mut bits = 0u64;
+        for c in &self.chunks {
+            for (i, &b) in c.delivered_bits.iter().enumerate() {
+                if bit_get(&c.ul, i) == want_ul {
+                    bits += u64::from(b);
+                }
+            }
+        }
         bits as f64 / dur / 1e6
     }
 
@@ -155,13 +466,71 @@ impl KpiTrace {
         if dur <= 0.0 || bin_s <= 0.0 {
             return Vec::new();
         }
-        let n_bins = (dur / bin_s).ceil() as usize;
-        let mut bits = vec![0u64; n_bins.max(1)];
-        for r in self.direction(direction) {
-            let b = ((r.time_s / bin_s) as usize).min(n_bins.saturating_sub(1));
-            bits[b] += r.delivered_bits as u64;
+        let n_bins = ((dur / bin_s).ceil() as usize).max(1);
+        let mut bits = vec![0u64; n_bins];
+        let want_ul = direction == Direction::Ul;
+        for c in &self.chunks {
+            for (i, (&t, &b)) in c.time_s.iter().zip(&c.delivered_bits).enumerate() {
+                if bit_get(&c.ul, i) == want_ul {
+                    let bin = ((t / bin_s) as usize).min(n_bins - 1);
+                    bits[bin] += u64::from(b);
+                }
+            }
         }
         bits.into_iter().map(|b| b as f64 / bin_s / 1e6).collect()
+    }
+
+    /// Mean goodput over only the time bins whose mean CQI satisfies the
+    /// threshold (`at_least = true`: CQI ≥ threshold; `false`: CQI <
+    /// threshold).
+    fn throughput_where_cqi(
+        &self,
+        direction: Direction,
+        bin_s: f64,
+        threshold: u8,
+        at_least: bool,
+    ) -> Option<f64> {
+        let dur = self.duration_s();
+        if dur <= 0.0 || bin_s <= 0.0 {
+            return None;
+        }
+        let n_bins = ((dur / bin_s).ceil() as usize).max(1);
+        let mut bits = vec![0u64; n_bins];
+        let mut cqi_sum = vec![0u64; n_bins];
+        let mut cqi_n = vec![0u64; n_bins];
+        let want_ul = direction == Direction::Ul;
+        for c in &self.chunks {
+            for (i, (&t, &q)) in c.time_s.iter().zip(&c.cqi).enumerate() {
+                let bin = ((t / bin_s) as usize).min(n_bins - 1);
+                cqi_sum[bin] += u64::from(q);
+                cqi_n[bin] += 1;
+                if bit_get(&c.ul, i) == want_ul {
+                    bits[bin] += u64::from(c.delivered_bits[i]);
+                }
+            }
+        }
+        let mut total_bits = 0u64;
+        let mut total_time = 0.0;
+        for bin in 0..n_bins {
+            if cqi_n[bin] == 0 {
+                continue;
+            }
+            let mean_cqi = cqi_sum[bin] as f64 / cqi_n[bin] as f64;
+            let qualifies = if at_least {
+                mean_cqi >= f64::from(threshold)
+            } else {
+                mean_cqi < f64::from(threshold)
+            };
+            if qualifies {
+                total_bits += bits[bin];
+                total_time += bin_s;
+            }
+        }
+        if total_time > 0.0 {
+            Some(total_bits as f64 / total_time / 1e6)
+        } else {
+            None
+        }
     }
 
     /// Mean goodput over only the time bins whose mean CQI satisfies
@@ -176,38 +545,7 @@ impl KpiTrace {
         bin_s: f64,
         cqi_at_least: u8,
     ) -> Option<f64> {
-        let dur = self.duration_s();
-        if dur <= 0.0 || bin_s <= 0.0 {
-            return None;
-        }
-        let n_bins = (dur / bin_s).ceil() as usize;
-        let mut bits = vec![0u64; n_bins];
-        let mut cqi_sum = vec![0f64; n_bins];
-        let mut cqi_n = vec![0u64; n_bins];
-        for r in &self.records {
-            let b = ((r.time_s / bin_s) as usize).min(n_bins - 1);
-            cqi_sum[b] += r.cqi as f64;
-            cqi_n[b] += 1;
-            if r.direction == direction {
-                bits[b] += r.delivered_bits as u64;
-            }
-        }
-        let mut total_bits = 0u64;
-        let mut total_time = 0.0;
-        for b in 0..n_bins {
-            if cqi_n[b] == 0 {
-                continue;
-            }
-            if cqi_sum[b] / (cqi_n[b] as f64) >= f64::from(cqi_at_least) {
-                total_bits += bits[b];
-                total_time += bin_s;
-            }
-        }
-        if total_time > 0.0 {
-            Some(total_bits as f64 / total_time / 1e6)
-        } else {
-            None
-        }
+        self.throughput_where_cqi(direction, bin_s, cqi_at_least, true)
     }
 
     /// Like [`Self::mean_throughput_mbps_where_cqi`] but keeping bins whose
@@ -218,38 +556,7 @@ impl KpiTrace {
         bin_s: f64,
         cqi_below: u8,
     ) -> Option<f64> {
-        let dur = self.duration_s();
-        if dur <= 0.0 || bin_s <= 0.0 {
-            return None;
-        }
-        let n_bins = (dur / bin_s).ceil() as usize;
-        let mut bits = vec![0u64; n_bins];
-        let mut cqi_sum = vec![0f64; n_bins];
-        let mut cqi_n = vec![0u64; n_bins];
-        for r in &self.records {
-            let b = ((r.time_s / bin_s) as usize).min(n_bins - 1);
-            cqi_sum[b] += r.cqi as f64;
-            cqi_n[b] += 1;
-            if r.direction == direction {
-                bits[b] += r.delivered_bits as u64;
-            }
-        }
-        let mut total_bits = 0u64;
-        let mut total_time = 0.0;
-        for b in 0..n_bins {
-            if cqi_n[b] == 0 {
-                continue;
-            }
-            if cqi_sum[b] / (cqi_n[b] as f64) < f64::from(cqi_below) {
-                total_bits += bits[b];
-                total_time += bin_s;
-            }
-        }
-        if total_time > 0.0 {
-            Some(total_bits as f64 / total_time / 1e6)
-        } else {
-            None
-        }
+        self.throughput_where_cqi(direction, bin_s, cqi_below, false)
     }
 
     /// Per-scheduled-slot series of an arbitrary field, with timestamps.
@@ -260,45 +567,60 @@ impl KpiTrace {
     ) -> Vec<(f64, f64)> {
         self.direction(direction)
             .filter(|r| r.scheduled)
-            .map(|r| (r.time_s, f(r)))
+            .map(|r| (r.time_s, f(&r)))
             .collect()
     }
 
     /// Fraction of scheduled slots using each modulation order (the paper's
     /// Fig. 5), as `(modulation, fraction)` over DL grants.
     pub fn modulation_shares(&self) -> Vec<(Modulation, f64)> {
-        let grants: Vec<&SlotKpi> = self
-            .direction(Direction::Dl)
-            .filter(|r| r.scheduled && !r.is_retx)
-            .collect();
-        if grants.is_empty() {
+        let mut counts = [0u64; 4];
+        let mut grants = 0u64;
+        for c in &self.chunks {
+            // Word-at-a-time over the flag bitsets: bits past `c.len` are
+            // never set, so the tail word needs no special casing.
+            let words = c.scheduled.iter().zip(c.ul.iter().zip(&c.is_retx));
+            for (w, (&sch, (&ul, &rtx))) in words.enumerate() {
+                let mut mask = sch & !ul & !rtx;
+                while mask != 0 {
+                    let i = w * 64 + mask.trailing_zeros() as usize;
+                    counts[c.modulation[i] as usize] += 1;
+                    grants += 1;
+                    mask &= mask - 1;
+                }
+            }
+        }
+        if grants == 0 {
             return Vec::new();
         }
-        let mut counts = std::collections::BTreeMap::new();
-        for g in &grants {
-            *counts.entry(g.modulation).or_insert(0usize) += 1;
-        }
-        counts
-            .into_iter()
-            .map(|(m, c)| (m, c as f64 / grants.len() as f64))
+        MODULATIONS
+            .iter()
+            .zip(counts)
+            .filter(|(_, n)| *n > 0)
+            .map(|(&m, n)| (m, n as f64 / grants as f64))
             .collect()
     }
 
     /// Fraction of scheduled DL slots using each MIMO layer count (the
     /// paper's Fig. 6), indexed `[unused, 1, 2, 3, 4]`.
     pub fn layer_shares(&self) -> [f64; 5] {
-        let mut counts = [0usize; 5];
-        let mut total = 0usize;
-        for r in self.direction(Direction::Dl) {
-            if r.scheduled {
-                counts[(r.layers as usize).min(4)] += 1;
-                total += 1;
+        let mut counts = [0u64; 5];
+        let mut total = 0u64;
+        for c in &self.chunks {
+            for (w, (&sch, &ul)) in c.scheduled.iter().zip(&c.ul).enumerate() {
+                let mut mask = sch & !ul;
+                while mask != 0 {
+                    let i = w * 64 + mask.trailing_zeros() as usize;
+                    counts[(c.layers[i] as usize).min(4)] += 1;
+                    total += 1;
+                    mask &= mask - 1;
+                }
             }
         }
         let mut shares = [0.0; 5];
         if total > 0 {
-            for (i, c) in counts.iter().enumerate() {
-                shares[i] = *c as f64 / total as f64;
+            for (share, &n) in shares.iter_mut().zip(&counts) {
+                *share = n as f64 / total as f64;
             }
         }
         shares
@@ -306,13 +628,15 @@ impl KpiTrace {
 
     /// Block-error rate over scheduled DL slots.
     pub fn dl_bler(&self) -> f64 {
-        let mut errors = 0usize;
-        let mut total = 0usize;
-        for r in self.direction(Direction::Dl) {
-            if r.scheduled {
-                total += 1;
-                if r.block_error {
-                    errors += 1;
+        let mut errors = 0u64;
+        let mut total = 0u64;
+        for c in &self.chunks {
+            for i in 0..c.len {
+                if !bit_get(&c.ul, i) && bit_get(&c.scheduled, i) {
+                    total += 1;
+                    if bit_get(&c.block_error, i) {
+                        errors += 1;
+                    }
                 }
             }
         }
@@ -325,36 +649,298 @@ impl KpiTrace {
 
     /// All RE allocations of scheduled DL slots (Fig. 3's CDF input).
     pub fn dl_re_allocations(&self) -> Vec<u32> {
-        self.direction(Direction::Dl).filter(|r| r.scheduled).map(|r| r.n_re).collect()
+        let mut out = Vec::new();
+        for c in &self.chunks {
+            for (i, &re) in c.n_re.iter().enumerate() {
+                if !bit_get(&c.ul, i) && bit_get(&c.scheduled, i) {
+                    out.push(re);
+                }
+            }
+        }
+        out
     }
 
     /// Maximum PRBs allocated in any scheduled DL slot (Fig. 4).
     pub fn max_dl_prb(&self) -> u16 {
-        self.direction(Direction::Dl).map(|r| r.n_prb).max().unwrap_or(0)
+        let mut max = 0u16;
+        for c in &self.chunks {
+            for (i, &prb) in c.n_prb.iter().enumerate() {
+                if !bit_get(&c.ul, i) && prb > max {
+                    max = prb;
+                }
+            }
+        }
+        max
     }
 
     /// Mean CQI over all records.
     pub fn mean_cqi(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.len == 0 {
             return 0.0;
         }
-        self.records.iter().map(|r| r.cqi as f64).sum::<f64>() / self.records.len() as f64
+        let sum: u64 = self
+            .chunks
+            .iter()
+            .flat_map(|c| c.cqi.iter())
+            .map(|&q| u64::from(q))
+            .sum();
+        sum as f64 / self.len as f64
     }
 
     /// Restrict to records with CQI at or above a threshold — the paper's
     /// "good channel conditions (CQI ≥ 12)" filter of Figs. 2/9/10.
-    pub fn filter_cqi_at_least(&self, threshold: u8) -> KpiTrace {
-        KpiTrace {
-            records: self.records.iter().copied().filter(|r| r.cqi >= threshold).collect(),
-        }
+    /// Returns a borrowed view; no records are cloned.
+    pub fn filter_cqi_at_least(&self, threshold: u8) -> CqiFilteredTrace<'_> {
+        CqiFilteredTrace { trace: self, threshold, below: false }
     }
 
     /// Restrict to records with CQI strictly below a threshold (Fig. 10's
-    /// CQI < 10 panel).
-    pub fn filter_cqi_below(&self, threshold: u8) -> KpiTrace {
-        KpiTrace {
-            records: self.records.iter().copied().filter(|r| r.cqi < threshold).collect(),
+    /// CQI < 10 panel). Returns a borrowed view; no records are cloned.
+    pub fn filter_cqi_below(&self, threshold: u8) -> CqiFilteredTrace<'_> {
+        CqiFilteredTrace { trace: self, threshold, below: true }
+    }
+}
+
+impl Extend<SlotKpi> for KpiTrace {
+    fn extend<I: IntoIterator<Item = SlotKpi>>(&mut self, iter: I) {
+        for kpi in iter {
+            self.push(kpi);
         }
+    }
+}
+
+impl FromIterator<SlotKpi> for KpiTrace {
+    fn from_iter<I: IntoIterator<Item = SlotKpi>>(iter: I) -> Self {
+        let mut trace = KpiTrace::new();
+        trace.extend(iter);
+        trace
+    }
+}
+
+/// Iterator over a trace's records, yielding [`SlotKpi`] views by value.
+#[derive(Debug, Clone)]
+pub struct Records<'a> {
+    trace: &'a KpiTrace,
+    next: usize,
+}
+
+impl Iterator for Records<'_> {
+    type Item = SlotKpi;
+
+    fn next(&mut self) -> Option<SlotKpi> {
+        let item = self.trace.get(self.next);
+        if item.is_some() {
+            self.next += 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.trace.len - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Records<'_> {}
+
+impl<'a> IntoIterator for &'a KpiTrace {
+    type Item = SlotKpi;
+    type IntoIter = Records<'a>;
+
+    fn into_iter(self) -> Records<'a> {
+        self.iter()
+    }
+}
+
+/// A borrowed CQI-conditioned view of a trace
+/// ([`KpiTrace::filter_cqi_at_least`] / [`KpiTrace::filter_cqi_below`]):
+/// records are filtered lazily against the CQI column, never cloned.
+#[derive(Debug, Clone, Copy)]
+pub struct CqiFilteredTrace<'a> {
+    trace: &'a KpiTrace,
+    threshold: u8,
+    below: bool,
+}
+
+impl CqiFilteredTrace<'_> {
+    fn matches(&self, cqi: u8) -> bool {
+        if self.below {
+            cqi < self.threshold
+        } else {
+            cqi >= self.threshold
+        }
+    }
+
+    /// Number of matching records (a column-local scan of the CQI column).
+    pub fn len(&self) -> usize {
+        self.trace
+            .chunks
+            .iter()
+            .flat_map(|c| c.cqi.iter())
+            .filter(|&&q| self.matches(q))
+            .count()
+    }
+
+    /// Whether no record matches.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over the matching records.
+    pub fn iter(&self) -> impl Iterator<Item = SlotKpi> + '_ {
+        self.trace.iter().filter(move |r| self.matches(r.cqi))
+    }
+
+    /// Materialise the view into an owned columnar trace.
+    pub fn to_trace(&self) -> KpiTrace {
+        self.iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation: dataset v2 columnar wire format, with v1 fallback.
+// ---------------------------------------------------------------------------
+
+/// Concatenate one column across chunks into a JSON array value.
+fn concat_column<T: Serialize>(chunks: &[Chunk], col: impl Fn(&Chunk) -> &[T]) -> Value {
+    Value::Array(chunks.iter().flat_map(|c| col(c).iter()).map(Serialize::to_value).collect())
+}
+
+impl Serialize for KpiTrace {
+    /// Dataset v2 wire form: one concatenated array per column, flag
+    /// columns as packed `u64` words. Chunk boundaries are not
+    /// observable on the wire (chunks are 64-record aligned, so word
+    /// arrays of full chunks concatenate exactly), which keeps the
+    /// encoding canonical — the byte-stability the determinism harness
+    /// relies on.
+    fn to_value(&self) -> Value {
+        let c = &self.chunks;
+        Value::Object(vec![
+            ("len".to_string(), self.len.to_value()),
+            ("slot".to_string(), concat_column(c, |c| &c.slot)),
+            ("time_s".to_string(), concat_column(c, |c| &c.time_s)),
+            ("carrier".to_string(), concat_column(c, |c| &c.carrier)),
+            ("n_prb".to_string(), concat_column(c, |c| &c.n_prb)),
+            ("n_re".to_string(), concat_column(c, |c| &c.n_re)),
+            ("mcs".to_string(), concat_column(c, |c| &c.mcs)),
+            ("modulation".to_string(), concat_column(c, |c| &c.modulation)),
+            ("layers".to_string(), concat_column(c, |c| &c.layers)),
+            ("tbs_bits".to_string(), concat_column(c, |c| &c.tbs_bits)),
+            ("delivered_bits".to_string(), concat_column(c, |c| &c.delivered_bits)),
+            ("cqi".to_string(), concat_column(c, |c| &c.cqi)),
+            ("sinr_db".to_string(), concat_column(c, |c| &c.sinr_db)),
+            ("rsrp_dbm".to_string(), concat_column(c, |c| &c.rsrp_dbm)),
+            ("rsrq_db".to_string(), concat_column(c, |c| &c.rsrq_db)),
+            ("serving_site".to_string(), concat_column(c, |c| &c.serving_site)),
+            ("ul".to_string(), concat_column(c, |c| &c.ul)),
+            ("scheduled".to_string(), concat_column(c, |c| &c.scheduled)),
+            ("is_retx".to_string(), concat_column(c, |c| &c.is_retx)),
+            ("block_error".to_string(), concat_column(c, |c| &c.block_error)),
+        ])
+    }
+}
+
+fn column_len_check(name: &str, got: usize, want: usize) -> Result<(), DeError> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(DeError::msg(format!("KpiTrace.{name}: {got} entries, expected {want}")))
+    }
+}
+
+impl Deserialize for KpiTrace {
+    /// Accepts both wire forms: the columnar v2 object and the legacy v1
+    /// `{"records": [...]}` row form, so datasets exported before the
+    /// columnar refactor keep loading.
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", value, "KpiTrace"))?;
+        if fields.iter().any(|(k, _)| k == "records") {
+            let records: Vec<SlotKpi> = serde::field(fields, "records", "KpiTrace")?;
+            return Ok(records.into_iter().collect());
+        }
+        let ctx = "KpiTrace";
+        let len: usize = serde::field(fields, "len", ctx)?;
+        let slot: Vec<u64> = serde::field(fields, "slot", ctx)?;
+        let time_s: Vec<f64> = serde::field(fields, "time_s", ctx)?;
+        let carrier: Vec<u8> = serde::field(fields, "carrier", ctx)?;
+        let n_prb: Vec<u16> = serde::field(fields, "n_prb", ctx)?;
+        let n_re: Vec<u32> = serde::field(fields, "n_re", ctx)?;
+        let mcs: Vec<u8> = serde::field(fields, "mcs", ctx)?;
+        let modulation: Vec<u8> = serde::field(fields, "modulation", ctx)?;
+        let layers: Vec<u8> = serde::field(fields, "layers", ctx)?;
+        let tbs_bits: Vec<u32> = serde::field(fields, "tbs_bits", ctx)?;
+        let delivered_bits: Vec<u32> = serde::field(fields, "delivered_bits", ctx)?;
+        let cqi: Vec<u8> = serde::field(fields, "cqi", ctx)?;
+        let sinr_db: Vec<f64> = serde::field(fields, "sinr_db", ctx)?;
+        let rsrp_dbm: Vec<f64> = serde::field(fields, "rsrp_dbm", ctx)?;
+        let rsrq_db: Vec<f64> = serde::field(fields, "rsrq_db", ctx)?;
+        let serving_site: Vec<u32> = serde::field(fields, "serving_site", ctx)?;
+        let ul: Vec<u64> = serde::field(fields, "ul", ctx)?;
+        let scheduled: Vec<u64> = serde::field(fields, "scheduled", ctx)?;
+        let is_retx: Vec<u64> = serde::field(fields, "is_retx", ctx)?;
+        let block_error: Vec<u64> = serde::field(fields, "block_error", ctx)?;
+
+        for (name, got) in [
+            ("slot", slot.len()),
+            ("time_s", time_s.len()),
+            ("carrier", carrier.len()),
+            ("n_prb", n_prb.len()),
+            ("n_re", n_re.len()),
+            ("mcs", mcs.len()),
+            ("modulation", modulation.len()),
+            ("layers", layers.len()),
+            ("tbs_bits", tbs_bits.len()),
+            ("delivered_bits", delivered_bits.len()),
+            ("cqi", cqi.len()),
+            ("sinr_db", sinr_db.len()),
+            ("rsrp_dbm", rsrp_dbm.len()),
+            ("rsrq_db", rsrq_db.len()),
+            ("serving_site", serving_site.len()),
+        ] {
+            column_len_check(name, got, len)?;
+        }
+        let words = len.div_ceil(64);
+        for (name, got) in [
+            ("ul", ul.len()),
+            ("scheduled", scheduled.len()),
+            ("is_retx", is_retx.len()),
+            ("block_error", block_error.len()),
+        ] {
+            column_len_check(name, got, words)?;
+        }
+
+        let mut trace = KpiTrace::with_capacity(len);
+        for i in 0..len {
+            trace.push(SlotKpi {
+                slot: slot[i],
+                time_s: time_s[i],
+                carrier: carrier[i],
+                direction: if bit_get(&ul, i) { Direction::Ul } else { Direction::Dl },
+                scheduled: bit_get(&scheduled, i),
+                n_prb: n_prb[i],
+                n_re: n_re[i],
+                mcs: mcs[i],
+                modulation: modulation_from_code(modulation[i]).ok_or_else(|| {
+                    DeError::msg(format!(
+                        "KpiTrace.modulation[{i}]: unknown code {}",
+                        modulation[i]
+                    ))
+                })?,
+                layers: layers[i],
+                tbs_bits: tbs_bits[i],
+                delivered_bits: delivered_bits[i],
+                is_retx: bit_get(&is_retx, i),
+                block_error: bit_get(&block_error, i),
+                cqi: cqi[i],
+                sinr_db: sinr_db[i],
+                rsrp_dbm: rsrp_dbm[i],
+                rsrq_db: rsrq_db[i],
+                serving_site: serving_site[i],
+            });
+        }
+        Ok(trace)
     }
 }
 
@@ -389,27 +975,37 @@ mod tests {
     #[test]
     fn mean_throughput_accounts_delivered_bits_only() {
         let mut t = KpiTrace::new();
-        let mut g = grant(0, 0.0005, 500_000, 4, Modulation::Qam256);
+        let mut g = grant(0, 0.0, 500_000, 4, Modulation::Qam256);
         t.push(g);
         g.slot = 1;
-        g.time_s = 0.001;
+        g.time_s = 0.0005;
         g.block_error = true;
         g.delivered_bits = 0;
         t.push(g);
-        // 500 kbit over 1 ms → 500 Mbps.
+        // Two 0.5 ms slots: 500 kbit over 1 ms → 500 Mbps.
+        assert!((t.duration_s() - 0.001).abs() < 1e-12);
         assert!((t.mean_throughput_mbps(Direction::Dl) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_extends_to_last_slot_end() {
+        let mut t = KpiTrace::new();
+        for i in 0..2000u64 {
+            t.push(grant(i, i as f64 * 0.0005, 100_000, 4, Modulation::Qam64));
+        }
+        // 2000 slots of 0.5 ms: a full second, not 999.5 ms.
+        assert!((t.duration_s() - 1.0).abs() < 1e-9, "{}", t.duration_s());
     }
 
     #[test]
     fn series_binning() {
         let mut t = KpiTrace::new();
         for i in 0..100u64 {
-            t.push(grant(i, (i as f64 + 1.0) * 0.0005, 100_000, 4, Modulation::Qam64));
+            t.push(grant(i, i as f64 * 0.0005, 100_000, 4, Modulation::Qam64));
         }
         let series = t.throughput_series_mbps(Direction::Dl, 0.01);
         assert_eq!(series.len(), 5);
-        // 20 slots/bin · 100 kbit / 10 ms = 200 Mbps, modulo the one-slot
-        // boundary shift from timestamps marking slot *ends*.
+        // 20 slots/bin · 100 kbit / 10 ms = 200 Mbps in every bin.
         for v in &series {
             assert!((v - 200.0).abs() <= 10.0 + 1e-9, "{v}");
         }
@@ -421,10 +1017,10 @@ mod tests {
     #[test]
     fn shares_and_filters() {
         let mut t = KpiTrace::new();
-        t.push(grant(0, 0.0005, 1000, 4, Modulation::Qam256));
-        t.push(grant(1, 0.0010, 1000, 4, Modulation::Qam64));
-        t.push(grant(2, 0.0015, 1000, 3, Modulation::Qam64));
-        let mut low_cqi = grant(3, 0.0020, 1000, 2, Modulation::Qam16);
+        t.push(grant(0, 0.0, 1000, 4, Modulation::Qam256));
+        t.push(grant(1, 0.0005, 1000, 4, Modulation::Qam64));
+        t.push(grant(2, 0.0010, 1000, 3, Modulation::Qam64));
+        let mut low_cqi = grant(3, 0.0015, 1000, 2, Modulation::Qam16);
         low_cqi.cqi = 7;
         t.push(low_cqi);
 
@@ -437,9 +1033,12 @@ mod tests {
         assert!((layers[3] - 0.25).abs() < 1e-9);
 
         let good = t.filter_cqi_at_least(12);
-        assert_eq!(good.records.len(), 3);
+        assert_eq!(good.len(), 3);
         let bad = t.filter_cqi_below(10);
-        assert_eq!(bad.records.len(), 1);
+        assert_eq!(bad.len(), 1);
+        // The views materialise to the same records the lazy iterators see.
+        assert_eq!(good.to_trace().len(), 3);
+        assert!(bad.iter().all(|r| r.cqi < 10));
     }
 
     #[test]
@@ -451,7 +1050,7 @@ mod tests {
             let good = i < 200;
             let mut g = grant(
                 i,
-                (i as f64 + 1.0) * 0.0005,
+                i as f64 * 0.0005,
                 if good { 100_000 } else { 20_000 },
                 4,
                 Modulation::Qam64,
@@ -479,5 +1078,51 @@ mod tests {
         assert!(t.modulation_shares().is_empty());
         assert_eq!(t.dl_bler(), 0.0);
         assert_eq!(t.max_dl_prb(), 0);
+        assert!(t.last().is_none());
+        assert!(t.get(0).is_none());
+    }
+
+    #[test]
+    fn push_get_iter_agree_across_chunk_boundaries() {
+        let mut t = KpiTrace::new();
+        let n = CHUNK_RECORDS * 2 + 137;
+        let mut reference = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let mut g = grant(i, i as f64 * 0.0005, (i as u32) * 3 + 1, (i % 5) as u8, Modulation::Qam16);
+            g.is_retx = i % 7 == 0;
+            g.block_error = i % 11 == 0;
+            g.direction = if i % 3 == 0 { Direction::Ul } else { Direction::Dl };
+            t.push(g);
+            reference.push(g);
+        }
+        assert_eq!(t.len(), n);
+        assert!(t.iter().eq(reference.iter().copied()));
+        assert_eq!(t.get(CHUNK_RECORDS), Some(reference[CHUNK_RECORDS]));
+        assert_eq!(t.last(), reference.last().copied());
+        let tail: Vec<SlotKpi> = t.iter_from(n - 10).collect();
+        assert_eq!(tail, reference[n - 10..]);
+    }
+
+    #[test]
+    fn columnar_serde_roundtrips_exactly() {
+        let mut t = KpiTrace::new();
+        for i in 0..200u64 {
+            let mut g = grant(i, i as f64 * 0.0005, 77_000 + i as u32, 2, Modulation::Qam256);
+            g.direction = if i % 4 == 0 { Direction::Ul } else { Direction::Dl };
+            g.scheduled = i % 5 != 0;
+            t.push(g);
+        }
+        let back = KpiTrace::from_value(&t.to_value()).expect("columnar decode");
+        assert_eq!(t, back);
+        assert_eq!(t.duration_s(), back.duration_s());
+    }
+
+    #[test]
+    fn legacy_row_form_still_decodes() {
+        let records = vec![grant(0, 0.0, 1000, 4, Modulation::Qam64), grant(1, 0.0005, 2000, 2, Modulation::Qpsk)];
+        let v1 = Value::Object(vec![("records".to_string(), records.to_value())]);
+        let t = KpiTrace::from_value(&v1).expect("v1 decode");
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().eq(records.iter().copied()));
     }
 }

@@ -41,6 +41,7 @@ pub mod multiuser;
 pub mod rrc;
 pub mod scheduler;
 pub mod sim;
+pub mod sink;
 pub mod traffic;
 
 pub use amc::AmcState;
@@ -50,4 +51,5 @@ pub use kpi::{KpiTrace, SlotKpi};
 pub use latency::{LatencyProbeConfig, LatencySample};
 pub use lte::LteAnchor;
 pub use sim::{UeSim, UeSimConfig};
+pub use sink::{SlotSink, Tee};
 pub use traffic::{TrafficSource, TrafficState};

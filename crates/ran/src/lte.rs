@@ -66,7 +66,7 @@ impl LteAnchor {
     pub fn step_ul(&mut self, position: Position, moved_m: f64) -> SlotKpi {
         let subframe = self.subframe;
         self.subframe += 1;
-        let time_s = self.subframe as f64 * 1e-3;
+        let time_s = subframe as f64 * 1e-3;
         let ch = self.channel.step_at(position, moved_m);
 
         // UL power budget penalty, as in the NR UL model.

@@ -11,6 +11,7 @@ use crate::carrier::{Carrier, TrafficPattern};
 use crate::config::UplinkRouting;
 use crate::kpi::KpiTrace;
 use crate::lte::LteAnchor;
+use crate::sink::SlotSink;
 use obs::audit::{self, Invariant};
 use obs::{Counter, Histogram};
 use radio_channel::mobility::{MobilityModel, MobilityState};
@@ -114,7 +115,8 @@ impl UeSim {
         let ticks = (duration_s / self.base_slot_s).round() as u64;
         // Preallocate for the worst case: every stepping carrier emits a DL
         // and a UL record each step, plus the LTE leg. A slight
-        // over-estimate (idle UL slots emit nothing) buys a realloc-free run.
+        // over-estimate (idle UL slots emit nothing) buys a run that never
+        // grows the chunk table.
         let records: u64 = self
             .dividers
             .iter()
@@ -125,11 +127,25 @@ impl UeSim {
         for _ in 0..ticks {
             self.step_into(&mut trace);
         }
+        trace.finish();
         trace
     }
 
-    /// Advance one base tick, appending records to `trace`.
-    pub fn step_into(&mut self, trace: &mut KpiTrace) {
+    /// Run for a duration, streaming every record into `sink` instead of
+    /// materialising a trace; calls [`SlotSink::finish`] at the end. This
+    /// is the bounded-memory entry point — a sink that aggregates online
+    /// keeps campaign memory independent of session duration.
+    pub fn run_into<S: SlotSink>(&mut self, duration_s: f64, sink: &mut S) {
+        let ticks = (duration_s / self.base_slot_s).round() as u64;
+        for _ in 0..ticks {
+            self.step_into(sink);
+        }
+        sink.finish();
+    }
+
+    /// Advance one base tick, pushing records into `sink` (without calling
+    /// `finish` — drivers that tick manually own the end-of-stream signal).
+    pub fn step_into<S: SlotSink>(&mut self, sink: &mut S) {
         let tick = self.tick;
         self.tick += 1;
         self.m_ticks.inc();
@@ -172,9 +188,9 @@ impl UeSim {
                 audit::check(Invariant::TimeMonotone, out.dl.time_s >= self.last_time[i]);
                 self.last_time[i] = out.dl.time_s;
             }
-            trace.push(out.dl);
+            sink.push(&out.dl);
             if let Some(ul) = out.ul {
-                trace.push(ul);
+                sink.push(&ul);
             }
         }
 
@@ -187,7 +203,7 @@ impl UeSim {
                     audit::check(Invariant::TimeMonotone, rec.time_s >= self.lte_last_time);
                     self.lte_last_time = rec.time_s;
                 }
-                trace.push(rec);
+                sink.push(&rec);
             }
         }
 
@@ -278,13 +294,12 @@ mod tests {
             &SeedTree::new(2),
         );
         let trace = sim.run(1.0);
-        let cc0_slots = trace.records.iter().filter(|r| r.carrier == 0).count();
-        let cc1_slots = trace.records.iter().filter(|r| r.carrier == 1).count();
+        let cc0_slots = trace.iter().filter(|r| r.carrier == 0).count();
+        let cc1_slots = trace.iter().filter(|r| r.carrier == 1).count();
         // n41 runs 2000 slots/s (DL records every slot + UL records on U
         // slots); n25 runs 1000 slots/s with DL+UL records each (FDD).
         assert!(cc0_slots > cc1_slots, "cc0 {cc0_slots} cc1 {cc1_slots}");
         let cc1_dl = trace
-            .records
             .iter()
             .filter(|r| r.carrier == 1 && r.direction == Direction::Dl)
             .count();
@@ -304,13 +319,11 @@ mod tests {
         );
         let trace = sim.run(2.0);
         let nr_ul_bits: u64 = trace
-            .records
             .iter()
             .filter(|r| r.direction == Direction::Ul && r.carrier != LTE_CARRIER_INDEX)
             .map(|r| r.delivered_bits as u64)
             .sum();
         let lte_ul_bits: u64 = trace
-            .records
             .iter()
             .filter(|r| r.carrier == LTE_CARRIER_INDEX)
             .map(|r| r.delivered_bits as u64)
@@ -331,7 +344,7 @@ mod tests {
             &SeedTree::new(4),
         );
         let trace = sim.run(1.0);
-        assert!(trace.records.iter().all(|r| r.carrier != LTE_CARRIER_INDEX));
+        assert!(trace.iter().all(|r| r.carrier != LTE_CARRIER_INDEX));
         assert!(trace.mean_throughput_mbps(Direction::Ul) > 0.0);
     }
 

@@ -1,0 +1,234 @@
+//! AoS ↔ SoA equivalence: the columnar `KpiTrace` must be observationally
+//! identical to a plain `Vec<SlotKpi>` baseline — same records back out,
+//! same aggregates, same serialisation round-trip — for arbitrary record
+//! streams, including ones that straddle chunk boundaries.
+
+use proptest::prelude::*;
+use ran::kpi::{Direction, KpiTrace, Modulation, SlotKpi, CHUNK_RECORDS};
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64: small deterministic generator for record fields, so each
+/// property case is fully determined by (seed, n) drawn from the runner.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+    }
+}
+
+/// Build `n` records with non-decreasing slots (jumps of 0..3), covering
+/// every modulation, both directions, and all flag combinations.
+fn gen_records(seed: u64, n: usize) -> Vec<SlotKpi> {
+    let mut rng = Mix(seed);
+    let mut slot = 0u64;
+    (0..n)
+        .map(|_| {
+            slot += rng.below(3);
+            let n_prb = rng.below(274) as u16;
+            let tbs_bits = rng.below(2_000_000) as u32;
+            let block_error = rng.chance(5);
+            SlotKpi {
+                slot,
+                time_s: slot as f64 * 0.0005,
+                carrier: rng.below(3) as u8,
+                direction: if rng.chance(3) { Direction::Ul } else { Direction::Dl },
+                scheduled: !rng.chance(4),
+                n_prb,
+                n_re: u32::from(n_prb) * 144,
+                mcs: rng.below(29) as u8,
+                modulation: match rng.below(4) {
+                    0 => Modulation::Qpsk,
+                    1 => Modulation::Qam16,
+                    2 => Modulation::Qam64,
+                    _ => Modulation::Qam256,
+                },
+                layers: rng.below(5) as u8,
+                tbs_bits,
+                delivered_bits: if block_error { 0 } else { tbs_bits },
+                is_retx: rng.chance(6),
+                block_error,
+                cqi: rng.below(16) as u8,
+                sinr_db: rng.f64_in(-10.0, 40.0),
+                rsrp_dbm: rng.f64_in(-130.0, -60.0),
+                rsrq_db: -12.0,
+                serving_site: rng.below(6) as u32,
+            }
+        })
+        .collect()
+}
+
+/// Reference AoS implementations, straight off the record vector.
+mod reference {
+    use super::*;
+
+    pub fn duration_s(records: &[SlotKpi]) -> f64 {
+        let max_end = records
+            .iter()
+            .filter(|r| r.slot > 0)
+            .map(|r| r.time_s + r.time_s / r.slot as f64)
+            .fold(0.0f64, f64::max);
+        if max_end > 0.0 {
+            max_end
+        } else {
+            records.iter().map(|r| r.time_s).fold(0.0f64, f64::max)
+        }
+    }
+
+    pub fn mean_throughput_mbps(records: &[SlotKpi], dir: Direction) -> f64 {
+        let dur = duration_s(records);
+        if dur <= 0.0 {
+            return 0.0;
+        }
+        let bits: u64 = records
+            .iter()
+            .filter(|r| r.direction == dir)
+            .map(|r| u64::from(r.delivered_bits))
+            .sum();
+        bits as f64 / dur / 1e6
+    }
+
+    pub fn throughput_series_mbps(records: &[SlotKpi], dir: Direction, bin_s: f64) -> Vec<f64> {
+        let dur = duration_s(records);
+        if dur <= 0.0 || bin_s <= 0.0 {
+            return Vec::new();
+        }
+        let n_bins = ((dur / bin_s).ceil() as usize).max(1);
+        let mut bits = vec![0u64; n_bins];
+        for r in records.iter().filter(|r| r.direction == dir) {
+            bits[((r.time_s / bin_s) as usize).min(n_bins - 1)] += u64::from(r.delivered_bits);
+        }
+        bits.into_iter().map(|b| b as f64 / bin_s / 1e6).collect()
+    }
+
+    pub fn dl_bler(records: &[SlotKpi]) -> f64 {
+        let sched: Vec<&SlotKpi> = records
+            .iter()
+            .filter(|r| r.direction == Direction::Dl && r.scheduled)
+            .collect();
+        if sched.is_empty() {
+            0.0
+        } else {
+            sched.iter().filter(|r| r.block_error).count() as f64 / sched.len() as f64
+        }
+    }
+
+    pub fn layer_shares(records: &[SlotKpi]) -> [f64; 5] {
+        let mut counts = [0u64; 5];
+        let mut total = 0u64;
+        for r in records.iter().filter(|r| r.direction == Direction::Dl && r.scheduled) {
+            counts[(r.layers as usize).min(4)] += 1;
+            total += 1;
+        }
+        let mut shares = [0.0; 5];
+        if total > 0 {
+            for (s, &n) in shares.iter_mut().zip(&counts) {
+                *s = n as f64 / total as f64;
+            }
+        }
+        shares
+    }
+}
+
+proptest! {
+    #[test]
+    fn columnar_trace_is_observationally_identical_to_aos(
+        seed in 0u64..1_000_000,
+        n in 0usize..600,
+    ) {
+        let records = gen_records(seed, n);
+        let trace: KpiTrace = records.iter().copied().collect();
+
+        // Round-trip through the columns.
+        prop_assert_eq!(trace.len(), records.len());
+        prop_assert!(trace.iter().eq(records.iter().copied()));
+        for probe in [0, records.len() / 2, records.len().saturating_sub(1)] {
+            prop_assert_eq!(trace.get(probe), records.get(probe).copied());
+        }
+        prop_assert_eq!(trace.last(), records.last().copied());
+
+        // Aggregations match the AoS reference implementations.
+        prop_assert!((trace.duration_s() - reference::duration_s(&records)).abs() < 1e-12);
+        for dir in [Direction::Dl, Direction::Ul] {
+            prop_assert!(
+                (trace.mean_throughput_mbps(dir)
+                    - reference::mean_throughput_mbps(&records, dir))
+                .abs()
+                    < 1e-9
+            );
+            let a = trace.throughput_series_mbps(dir, 0.01);
+            let b = reference::throughput_series_mbps(&records, dir, 0.01);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+        prop_assert!((trace.dl_bler() - reference::dl_bler(&records)).abs() < 1e-12);
+        prop_assert_eq!(trace.layer_shares(), reference::layer_shares(&records));
+
+        // CQI filter views partition the trace.
+        let good = trace.filter_cqi_at_least(10);
+        let bad = trace.filter_cqi_below(10);
+        prop_assert_eq!(good.len() + bad.len(), trace.len());
+        prop_assert!(good.iter().all(|r| r.cqi >= 10));
+        prop_assert!(bad.iter().all(|r| r.cqi < 10));
+        prop_assert_eq!(good.to_trace().len(), good.len());
+    }
+
+    #[test]
+    fn columnar_serde_roundtrip(seed in 0u64..1_000_000, n in 0usize..300) {
+        let records = gen_records(seed, n);
+        let trace: KpiTrace = records.iter().copied().collect();
+        let back = KpiTrace::from_value(&trace.to_value()).expect("decode own encoding");
+        prop_assert_eq!(&trace, &back);
+        prop_assert!((trace.duration_s() - back.duration_s()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn chunk_boundary_exactness() {
+    // Exercise the full-chunk path deterministically: bitset words of full
+    // chunks must concatenate exactly through serialisation.
+    let n = CHUNK_RECORDS + 64;
+    let records: Vec<SlotKpi> = (0..n as u64)
+        .map(|i| {
+            let mut r = SlotKpi::idle(
+                i,
+                i as f64 * 0.0005,
+                0,
+                if i % 2 == 0 { Direction::Dl } else { Direction::Ul },
+                10,
+                15.0,
+                -85.0,
+                -11.0,
+                0,
+            );
+            r.scheduled = i % 3 == 0;
+            r.is_retx = i % 5 == 0;
+            r.block_error = i % 7 == 0;
+            r
+        })
+        .collect();
+    let trace: KpiTrace = records.iter().copied().collect();
+    let back = KpiTrace::from_value(&trace.to_value()).unwrap();
+    assert_eq!(trace, back);
+    assert!(back.iter().eq(records.iter().copied()));
+}

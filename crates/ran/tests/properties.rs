@@ -69,7 +69,7 @@ proptest! {
                 trace.push(ul);
             }
         }
-        for r in &trace.records {
+        for r in trace.iter() {
             prop_assert!(r.delivered_bits <= r.tbs_bits);
             prop_assert!(r.n_prb <= n_rb);
             prop_assert!(r.layers <= max_layers);
@@ -81,9 +81,9 @@ proptest! {
                 prop_assert_eq!(r.delivered_bits, 0);
             }
         }
-        let good = trace.filter_cqi_at_least(10).records.len();
-        let bad = trace.filter_cqi_below(10).records.len();
-        prop_assert_eq!(good + bad, trace.records.len());
+        let good = trace.filter_cqi_at_least(10).len();
+        let bad = trace.filter_cqi_below(10).len();
+        prop_assert_eq!(good + bad, trace.len());
     }
 
     /// Latency probes are positive, finite and bounded by a few pattern

@@ -24,7 +24,7 @@ fn main() {
         for i in 0..sessions {
             let s = SessionResult::run(SessionSpec::stationary(op, i as usize, 6.0, 100 + i));
             dl += s.trace.mean_throughput_mbps(Direction::Dl);
-            trace.records.extend(s.trace.records);
+            trace.extend(s.trace.iter());
         }
         dl /= sessions as f64;
         let shares = trace.layer_shares();

@@ -50,6 +50,6 @@ fn main() {
     }
 
     println!("\nEverything above is derived from a slot-level KPI trace");
-    println!("({} records) — the simulated equivalent of an XCAL capture.", session.trace.records.len());
+    println!("({} records) — the simulated equivalent of an XCAL capture.", session.trace.len());
     println!("Re-running with the same seed reproduces it bit-for-bit.");
 }

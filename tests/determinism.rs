@@ -6,6 +6,7 @@
 //! This is what lets the figure binaries fan out across cores without
 //! ever changing a published number.
 
+use midband5g::analysis::OnlineAggregates;
 use midband5g::measure::campaign::Campaign;
 use midband5g::measure::executor::{Executor, THREADS_ENV};
 use midband5g::measure::session::{SessionResult, SessionSpec};
@@ -81,6 +82,41 @@ fn env_thread_count_does_not_change_results() {
         assert_eq!(reference, auto, "{THREADS_ENV}={value} changed the output");
     }
     std::env::remove_var(THREADS_ENV);
+}
+
+/// The bounded-memory streaming path obeys the same contract as the
+/// trace-materialising one: `run_streaming` is byte-identical across
+/// thread counts AND to folding the stored `run()` traces through
+/// [`OnlineAggregates`] per session, merged in spec order.
+#[test]
+fn streaming_campaign_is_byte_identical_across_thread_counts() {
+    use midband5g::ran::sink::SlotSink;
+
+    let bin_s = 0.25;
+    for operator in OPERATORS {
+        let campaign = small_campaign(operator);
+
+        // Sequential reference: post-hoc fold of the stored traces.
+        let mut reference = OnlineAggregates::new(bin_s);
+        for result in campaign.run() {
+            let mut session = OnlineAggregates::new(bin_s);
+            for record in result.trace.iter() {
+                session.push(&record);
+            }
+            session.finish();
+            reference.merge(&session);
+        }
+        let reference = serde_json::to_string(&reference).expect("aggregates serialise");
+
+        for threads in [1, 2, 8] {
+            let streamed = campaign.run_streaming_on(Executor::new(threads), bin_s);
+            let streamed = serde_json::to_string(&streamed).expect("aggregates serialise");
+            assert_eq!(
+                reference, streamed,
+                "{operator}: run_streaming_on({threads}) diverged from post-hoc fold"
+            );
+        }
+    }
 }
 
 proptest! {

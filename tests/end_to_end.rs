@@ -72,7 +72,7 @@ fn nsa_split_end_to_end() {
     assert!(nr.mean_throughput_mbps(Direction::Dl) > 300.0, "CA DL");
     // Multiple NR carriers actually contributed.
     let carriers: std::collections::BTreeSet<u8> =
-        nr.records.iter().map(|r| r.carrier).collect();
+        nr.iter().map(|r| r.carrier).collect();
     assert!(carriers.len() >= 2, "CA uses multiple CCs: {carriers:?}");
 }
 

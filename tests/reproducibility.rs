@@ -7,8 +7,8 @@ fn sessions_reproduce_exactly() {
     let spec = SessionSpec::stationary(Operator::OrangeFrance, 2, 3.0, 12345);
     let a = SessionResult::run(spec);
     let b = SessionResult::run(spec);
-    assert_eq!(a.trace.records.len(), b.trace.records.len());
-    for (x, y) in a.trace.records.iter().zip(&b.trace.records) {
+    assert_eq!(a.trace.len(), b.trace.len());
+    for (x, y) in a.trace.iter().zip(b.trace.iter()) {
         assert_eq!(x.delivered_bits, y.delivered_bits);
         assert_eq!(x.mcs, y.mcs);
         assert_eq!(x.layers, y.layers);
@@ -33,10 +33,10 @@ fn operators_in_one_city_share_the_environment() {
     // behavioural configs differ.
     let a = SessionResult::run(SessionSpec::stationary(Operator::VodafoneSpain, 0, 1.0, 77));
     let b = SessionResult::run(SessionSpec::stationary(Operator::OrangeSpain90, 0, 1.0, 77));
-    assert!((a.trace.records[0].rsrp_dbm - b.trace.records[0].rsrp_dbm).abs() < 1e-9);
+    assert!((a.trace.get(0).unwrap().rsrp_dbm - b.trace.get(0).unwrap().rsrp_dbm).abs() < 1e-9);
     // Operators in different cities see different environments.
     let c = SessionResult::run(SessionSpec::stationary(Operator::VodafoneItaly, 0, 1.0, 77));
-    assert!((a.trace.records[0].rsrp_dbm - c.trace.records[0].rsrp_dbm).abs() > 1e-9);
+    assert!((a.trace.get(0).unwrap().rsrp_dbm - c.trace.get(0).unwrap().rsrp_dbm).abs() > 1e-9);
 }
 
 #[test]

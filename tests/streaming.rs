@@ -1,0 +1,78 @@
+//! Streaming-pipeline equivalence (DESIGN.md §5.4): a session emitted
+//! through a [`Tee`] of the columnar trace and the online aggregates must
+//! agree with the stored-trace path — the tee'd trace is the `run()` trace,
+//! and the streamed aggregates equal post-hoc aggregation over it.
+
+use midband5g::analysis::OnlineAggregates;
+use midband5g::measure::session::{SessionResult, SessionSpec};
+use midband5g::operators::Operator;
+use midband5g::ran::kpi::{Direction, KpiTrace};
+use midband5g::ran::sink::Tee;
+use proptest::prelude::*;
+
+const BIN_S: f64 = 0.1;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    /// One pass through `Tee(KpiTrace, OnlineAggregates)` is observationally
+    /// the same as materialising the trace and aggregating afterwards.
+    #[test]
+    fn tee_stream_matches_posthoc_aggregation(
+        operator in prop::sample::select(vec![
+            Operator::VodafoneSpain,
+            Operator::TelekomGermany,
+            Operator::TMobileUs,
+        ]),
+        spot in 0usize..3,
+        duration_s in 0.4f64..1.2,
+        seed in 0u64..10_000,
+    ) {
+        let spec = SessionSpec::stationary(operator, spot, duration_s, seed);
+
+        let mut tee = Tee::new(KpiTrace::new(), OnlineAggregates::new(BIN_S));
+        let pushed = SessionResult::run_with_sink(spec, &mut tee);
+        let Tee { first: trace, second: online } = tee;
+
+        // The tee'd trace IS the session trace.
+        let baseline = SessionResult::run(spec);
+        prop_assert_eq!(pushed, trace.len() as u64);
+        prop_assert_eq!(&trace, &baseline.trace);
+
+        // Online aggregates equal post-hoc aggregation over the trace.
+        prop_assert_eq!(online.records(), trace.len() as u64);
+        prop_assert!(close(online.duration_s(), trace.duration_s()));
+        for dir in [Direction::Dl, Direction::Ul] {
+            let posthoc_bits: u64 = trace
+                .direction(dir)
+                .map(|r| u64::from(r.delivered_bits))
+                .sum();
+            prop_assert_eq!(online.delivered_bits(dir), posthoc_bits);
+            prop_assert!(close(
+                online.mean_throughput_mbps(dir),
+                trace.mean_throughput_mbps(dir)
+            ));
+            let streamed = online.throughput_series_mbps(dir);
+            let posthoc = trace.throughput_series_mbps(dir, BIN_S);
+            prop_assert_eq!(streamed.len(), posthoc.len());
+            for (s, p) in streamed.iter().zip(&posthoc) {
+                prop_assert!(close(*s, *p), "bin diverged: {s} vs {p}");
+            }
+        }
+        prop_assert!(close(online.dl_bler(), trace.dl_bler()));
+        prop_assert!(close(online.mean_cqi(), trace.mean_cqi()));
+
+        let streamed_shares = online.modulation_shares();
+        let posthoc_shares = trace.modulation_shares();
+        prop_assert_eq!(streamed_shares.len(), posthoc_shares.len());
+        for ((ma, sa), (mb, sb)) in streamed_shares.iter().zip(&posthoc_shares) {
+            prop_assert_eq!(ma, mb);
+            prop_assert!(close(*sa, *sb));
+        }
+        for (s, p) in online.layer_shares().iter().zip(trace.layer_shares()) {
+            prop_assert!(close(*s, p));
+        }
+    }
+}

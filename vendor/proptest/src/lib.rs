@@ -205,7 +205,7 @@ tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
 pub mod collection {
     use super::*;
 
-    /// Length bound accepted by [`vec`].
+    /// Length bound accepted by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         /// Minimum length, inclusive.
@@ -244,7 +244,7 @@ pub mod collection {
         VecStrategy { element, size: size.into_size_range() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
