@@ -38,6 +38,11 @@ pub struct OnlineAggregates {
     max_end_s: f64,
     /// Largest raw `time_s` (duration fallback for slot-0-only streams).
     max_time_s: f64,
+    /// Records consumed per time bin (both directions) — the sample
+    /// coverage behind each throughput-series point, so a collector gap
+    /// is visible as an under-populated bin instead of silently reading
+    /// as "the radio delivered nothing".
+    bin_records: Vec<u64>,
     /// Delivered bits per DL time bin.
     dl_bin_bits: Vec<u64>,
     /// Delivered bits per UL time bin.
@@ -73,6 +78,7 @@ impl OnlineAggregates {
             records: 0,
             max_end_s: 0.0,
             max_time_s: 0.0,
+            bin_records: Vec::new(),
             dl_bin_bits: Vec::new(),
             ul_bin_bits: Vec::new(),
             dl_bits: 0,
@@ -213,6 +219,31 @@ impl OnlineAggregates {
         RE_SKETCH_BOUNDS.last().copied()
     }
 
+    /// Records consumed per time bin (both directions), padded to the
+    /// series length after [`SlotSink::finish`].
+    pub fn bin_records(&self) -> &[u64] {
+        &self.bin_records
+    }
+
+    /// Per-bin sample coverage: each bin's record count relative to the
+    /// most-populated bin, in `[0, 1]`. A healthy full-buffer session
+    /// reads ~1.0 everywhere; a collector gap or early abort shows up as
+    /// a low-coverage span. Empty aggregates yield an empty vector.
+    pub fn bin_coverage(&self) -> Vec<f64> {
+        let densest = self.bin_records.iter().copied().max().unwrap_or(0);
+        if densest == 0 {
+            return vec![0.0; self.bin_records.len()];
+        }
+        self.bin_records.iter().map(|&n| n as f64 / densest as f64).collect()
+    }
+
+    /// The worst per-bin coverage (see [`OnlineAggregates::bin_coverage`]);
+    /// `1.0` for an empty aggregate, so healthy pipelines can assert a
+    /// floor without special-casing zero-length streams.
+    pub fn min_bin_coverage(&self) -> f64 {
+        self.bin_coverage().into_iter().fold(1.0, f64::min)
+    }
+
     /// Fold another aggregate into this one (same bin width required).
     /// Merging per-session aggregates in spec order is byte-identical to
     /// streaming the sessions through one sink sequentially.
@@ -227,6 +258,12 @@ impl OnlineAggregates {
         }
         if other.max_time_s > self.max_time_s {
             self.max_time_s = other.max_time_s;
+        }
+        if other.bin_records.len() > self.bin_records.len() {
+            self.bin_records.resize(other.bin_records.len(), 0);
+        }
+        for (a, &b) in self.bin_records.iter_mut().zip(&other.bin_records) {
+            *a += b;
         }
         if other.dl_bin_bits.len() > self.dl_bin_bits.len() {
             self.dl_bin_bits.resize(other.dl_bin_bits.len(), 0);
@@ -288,6 +325,10 @@ impl SlotSink for OnlineAggregates {
         self.cqi_sum += u64::from(kpi.cqi);
 
         let bin = self.bin_of(kpi.time_s);
+        if bin >= self.bin_records.len() {
+            self.bin_records.resize(bin + 1, 0);
+        }
+        self.bin_records[bin] += 1;
         let bits = u64::from(kpi.delivered_bits);
         match kpi.direction {
             Direction::Dl => {
@@ -328,6 +369,9 @@ impl SlotSink for OnlineAggregates {
         // Pad the series to the full duration so empty trailing bins are
         // observable, then seal.
         let n_bins = self.n_bins();
+        if self.bin_records.len() < n_bins {
+            self.bin_records.resize(n_bins, 0);
+        }
         if self.dl_bin_bits.len() < n_bins {
             self.dl_bin_bits.resize(n_bins, 0);
         }
@@ -418,6 +462,33 @@ mod tests {
         right.finish();
         left.merge(&right);
         assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn gapped_stream_reports_low_bin_coverage() {
+        // 400 slots at 0.5 ms over 0.2 s, with slots 100..200 (the second
+        // 0.05 s bin) missing — a collector gap.
+        let mut agg = OnlineAggregates::new(0.05);
+        for i in (0..400u64).filter(|i| !(100..200).contains(i)) {
+            agg.push(&record(i, Direction::Dl, 1_000));
+        }
+        agg.finish();
+        let coverage = agg.bin_coverage();
+        assert_eq!(coverage.len(), 4);
+        assert_eq!(agg.bin_records().iter().sum::<u64>(), 300);
+        // Bin boundaries are float divisions, so a boundary slot may land
+        // one bin over — assert the gap's shape, not exact counts.
+        assert!(coverage[1] < 0.05, "gapped bin must read near-empty: {coverage:?}");
+        assert!(agg.min_bin_coverage() < 0.05);
+        // A healthy stream reads near-full coverage everywhere.
+        let mut healthy = OnlineAggregates::new(0.05);
+        for i in 0..400u64 {
+            healthy.push(&record(i, Direction::Dl, 1_000));
+        }
+        healthy.finish();
+        assert!(healthy.min_bin_coverage() > 0.9, "{:?}", healthy.bin_coverage());
+        // Empty aggregates don't trip coverage assertions.
+        assert_eq!(OnlineAggregates::new(1.0).min_bin_coverage(), 1.0);
     }
 
     #[test]

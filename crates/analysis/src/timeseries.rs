@@ -75,6 +75,39 @@ pub fn bin_sum(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resampled
     Resampled { bin_s, values }
 }
 
+/// Samples landing in each bin of the grid that [`bin_average`] /
+/// [`bin_sum`] would produce — the sample-coverage companion of a
+/// resampled series. A sample-and-hold average over a gapped trace looks
+/// continuous; the counts reveal which bins actually contained data and
+/// which merely held the previous value. Uses the same clamping/dropping
+/// rules as the resamplers, so indices line up one-to-one.
+pub fn bin_counts(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Vec<u64> {
+    let n_bins = (duration_s / bin_s).ceil().max(0.0) as usize;
+    let mut counts = vec![0u64; n_bins];
+    for &(t, _) in samples {
+        if !t.is_finite() || t < 0.0 || n_bins == 0 {
+            continue;
+        }
+        let b = ((t / bin_s) as usize).min(n_bins - 1);
+        counts[b] += 1;
+    }
+    counts
+}
+
+/// Per-bin sample coverage on the [`bin_average`] grid: each bin's
+/// sample count relative to the most-populated bin, in `[0, 1]`. An
+/// all-empty input yields all-zero coverage.
+pub fn bin_coverage(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resampled {
+    let counts = bin_counts(samples, bin_s, duration_s);
+    let densest = counts.iter().copied().max().unwrap_or(0);
+    let values = if densest == 0 {
+        vec![0.0; counts.len()]
+    } else {
+        counts.iter().map(|&n| n as f64 / densest as f64).collect()
+    };
+    Resampled { bin_s, values }
+}
+
 /// Count every resample and, under `MIDBAND5G_AUDIT`, verify the output
 /// grid has exactly `ceil(duration/bin)` bins.
 fn audit_resample_len(values: &[f64], bin_s: f64, duration_s: f64) {
@@ -155,6 +188,22 @@ mod tests {
         let ts = r.timestamps();
         assert!((ts[0] - 0.03).abs() < 1e-12);
         assert!((ts[2] - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_exposes_held_bins() {
+        // bin_average holds through the empty middle bin; coverage tells
+        // the two apart.
+        let samples = vec![(0.1, 10.0), (0.2, 20.0), (1.1, 30.0)];
+        let avg = bin_average(&samples, 0.5, 1.5);
+        assert_eq!(avg.values, vec![15.0, 15.0, 30.0]);
+        assert_eq!(bin_counts(&samples, 0.5, 1.5), vec![2, 0, 1]);
+        let cov = bin_coverage(&samples, 0.5, 1.5);
+        assert_eq!(cov.values, vec![1.0, 0.0, 0.5]);
+        // Same grid as the resampler, including the clamp/drop rules.
+        let weird = vec![(-1.0, 9.0), (f64::NAN, 9.0), (9.0, 9.0)];
+        assert_eq!(bin_counts(&weird, 1.0, 2.0), vec![0, 1]);
+        assert_eq!(bin_coverage(&[], 0.5, 1.0).values, vec![0.0, 0.0]);
     }
 
     #[test]

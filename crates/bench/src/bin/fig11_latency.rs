@@ -13,7 +13,13 @@ const PAPER: [(&str, f64, f64); 4] = [
 fn main() {
     let args = RunArgs::parse(20_000, 0.0);
     banner("Figure 11", "5G PHY user-plane latency by TDD frame structure", &args);
-    let rows = latency::figure11(args.sessions as usize, args.seed);
+    let rows = match latency::figure11(args.sessions as usize, args.seed) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "{:<8} {:<14} | {:>12} {:>8} | {:>12} {:>8}",
         "Operator", "TDD pattern", "BLER=0 ours", "paper", "BLER>0 ours", "paper"

@@ -98,7 +98,7 @@ fn main() {
     }
 
     println!("\n## Fig 11 — user-plane latency");
-    for r in latency::figure11(10_000, seed) {
+    for r in latency::figure11(10_000, seed).expect("probe count is a nonzero constant") {
         println!(
             "  {:<8} {:<12} BLER=0 {:>5.2} ms | BLER>0 {:>5.2} ms",
             r.operator, r.pattern, r.bler_zero_ms, r.bler_positive_ms

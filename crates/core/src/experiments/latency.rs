@@ -1,6 +1,6 @@
 //! Figure 11: PHY user-plane latency per operator, split by BLER.
 
-use measure::latency::{measure_latency, LatencyResult};
+use measure::latency::{measure_latency, LatencyError, LatencyResult};
 use operators::Operator;
 
 /// The four representative EU operators of Fig. 11, in its bar order.
@@ -12,8 +12,9 @@ pub const FIG11_OPERATORS: [Operator; 4] = [
 ];
 
 /// Figure 11: user-plane latency (DL+UL) per operator, BLER = 0 and
-/// BLER > 0 panels.
-pub fn figure11(probes: usize, seed: u64) -> Vec<LatencyResult> {
+/// BLER > 0 panels. Errors when `probes == 0` (see
+/// [`measure::latency::LatencyError`]).
+pub fn figure11(probes: usize, seed: u64) -> Result<Vec<LatencyResult>, LatencyError> {
     FIG11_OPERATORS.iter().map(|&op| measure_latency(op, probes, seed)).collect()
 }
 
@@ -23,7 +24,7 @@ mod tests {
 
     #[test]
     fn figure11_reproduces_the_pattern_ordering() {
-        let rows = figure11(5000, 7);
+        let rows = figure11(5000, 7).unwrap();
         assert_eq!(rows.len(), 4);
         let by = |n: &str| rows.iter().find(|r| r.operator == n).unwrap();
         // V_It (DDDDDDDSUU, UL-free S) worst; V_Ge (DDDSU balanced) best.

@@ -7,13 +7,24 @@
 //! traces feed every figure. [`CampaignTotals`] accumulates the Table 1
 //! aggregates.
 
-use crate::executor::Executor;
+use crate::dataset::Dataset;
+use crate::executor::{Executor, ResilientOutcome};
+use crate::fault::{
+    run_session_with_faults, run_session_with_faults_into, FaultConfig, FaultSessionRun,
+    FaultStats,
+};
 use crate::session::{MobilityKind, SessionResult, SessionSpec};
 use analysis::OnlineAggregates;
 use operators::Operator;
 use ran::kpi::{KpiTrace, SlotKpi, CHUNK_RECORDS};
 use ran::sink::SlotSink;
 use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Default retry budget for the self-healing campaign paths: one initial
+/// attempt plus up to this many retries per session.
+pub const DEFAULT_RETRY_BUDGET: u32 = 2;
 
 /// A batch of sessions for one operator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -83,6 +94,159 @@ impl Campaign {
         self.run_streaming_on(Executor::from_env(), bin_s)
     }
 
+    /// Self-healing campaign: run every session under deterministic
+    /// fault injection ([`FaultConfig`]), isolating worker panics and
+    /// retrying each failed session up to `retry_budget` times. Instead
+    /// of panicking away a whole campaign when one session dies, the
+    /// result is a [`CampaignOutcome`] naming what survived, what was
+    /// lost, and how much of each surviving trace is real coverage.
+    ///
+    /// With `FaultConfig::default()` (all rates zero) the surviving
+    /// results are byte-identical to [`Campaign::run`]; with any config
+    /// the outcome is byte-identical across thread counts
+    /// (`tests/chaos.rs`).
+    pub fn run_resilient(
+        &self,
+        executor: Executor,
+        faults: &FaultConfig,
+        retry_budget: u32,
+    ) -> CampaignOutcome {
+        let _span = obs::span("campaign.run");
+        obs::registry().counter("campaign.runs").inc();
+        let specs = self.specs();
+        let outcome = executor.map_resilient(&specs, retry_budget, |spec, attempt| {
+            run_session_with_faults(*spec, faults, attempt)
+        });
+        collect_outcome(&specs, 0, outcome)
+    }
+
+    /// Checkpointing [`Campaign::run_resilient`]: every completed session
+    /// is persisted into `dir` (via the [`Dataset`] session writer, one
+    /// atomically-renamed file each) as soon as its wave finishes, and a
+    /// `checkpoint.json` manifest records `(name, index, seed, spec
+    /// hash, fault stats)` per entry. On restart over the same `dir`,
+    /// sessions whose seed **and** spec hash match are loaded from disk
+    /// and skipped; everything else (including previously-abandoned
+    /// sessions — they are never checkpointed) reruns. Because each
+    /// session is a pure function of `(spec, attempt)`, a resumed
+    /// campaign is byte-identical to an uninterrupted one.
+    ///
+    /// On completion the directory also gains a regular dataset
+    /// `manifest.json` over the surviving sessions, so a finished
+    /// checkpoint dir doubles as a loadable [`Dataset`] export.
+    pub fn run_checkpointed(
+        &self,
+        dir: &Path,
+        executor: Executor,
+        faults: &FaultConfig,
+        retry_budget: u32,
+    ) -> io::Result<CampaignOutcome> {
+        let _span = obs::span("campaign.run_checkpointed");
+        let reg = obs::registry();
+        reg.counter("campaign.runs").inc();
+        let specs = self.specs();
+        std::fs::create_dir_all(dir)?;
+        let ds = Dataset::at(dir);
+        let ckpt_path = dir.join("checkpoint.json");
+
+        // Recover verified prior work. A corrupt or missing checkpoint
+        // manifest simply means "nothing to resume": entries are only
+        // trusted after the seed + spec-hash + on-disk-spec checks pass.
+        let prior = std::fs::read_to_string(&ckpt_path)
+            .ok()
+            .and_then(|json| serde_json::from_str::<CheckpointManifest>(&json).ok())
+            .unwrap_or_default();
+        let mut cached: Vec<Option<(SessionResult, FaultStats)>> = vec![None; specs.len()];
+        let mut entries: Vec<CheckpointEntry> = Vec::new();
+        for entry in prior.entries {
+            let index = entry.index as usize;
+            let Some(spec) = specs.get(index) else { continue };
+            if entry.seed != spec.seed
+                || entry.spec_hash != spec.stable_hash()
+                || cached[index].is_some()
+            {
+                continue;
+            }
+            let Ok(record) = ds.load_session(&entry.name) else { continue };
+            if record.spec != *spec {
+                continue;
+            }
+            cached[index] =
+                Some((SessionResult { spec: record.spec, trace: record.trace }, entry.stats));
+            entries.push(entry);
+        }
+        reg.counter("campaign.checkpoint_hits").add(entries.len() as u64);
+
+        // Run what is missing, in waves, checkpointing after each wave so
+        // a kill loses at most one wave of work.
+        let pending: Vec<usize> = (0..specs.len()).filter(|&i| cached[i].is_none()).collect();
+        let mut failures: Vec<SessionFailure> = Vec::new();
+        let wave_size = executor.threads().max(1) * 2;
+        for wave in pending.chunks(wave_size) {
+            let wave_specs: Vec<SessionSpec> = wave.iter().map(|&i| specs[i]).collect();
+            let outcome = executor.map_resilient(&wave_specs, retry_budget, |spec, attempt| {
+                run_session_with_faults(*spec, faults, attempt)
+            });
+            for (j, item) in outcome.outputs.into_iter().enumerate() {
+                let index = wave[j];
+                match item {
+                    Ok(run) => {
+                        let name = ds.write_session(index, &run.result)?;
+                        entries.push(CheckpointEntry {
+                            name,
+                            index: index as u64,
+                            seed: specs[index].seed,
+                            spec_hash: specs[index].stable_hash(),
+                            records: run.result.trace.len() as u64,
+                            stats: run.stats,
+                        });
+                        cached[index] = Some((run.result, run.stats));
+                    }
+                    Err(f) => failures.push(SessionFailure {
+                        index: index as u64,
+                        spec: specs[index],
+                        attempts: f.attempts,
+                        reason: f.error.to_string(),
+                    }),
+                }
+            }
+            entries.sort_by_key(|e| e.index);
+            write_atomically(
+                &ckpt_path,
+                &serde_json::to_string_pretty(&CheckpointManifest { entries: entries.clone() })
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            )?;
+        }
+
+        // Leave a loadable dataset manifest over the survivors.
+        let manifest = crate::dataset::DatasetManifest {
+            description: format!(
+                "checkpointed campaign: {} x {} sessions, base seed {}",
+                self.operator.acronym(),
+                self.sessions,
+                self.base_seed
+            ),
+            sessions: entries.iter().map(|e| e.name.clone()).collect(),
+            total_records: entries.iter().map(|e| e.records).sum(),
+            version: crate::dataset::DATASET_VERSION,
+        };
+        write_atomically(
+            &dir.join("manifest.json"),
+            &serde_json::to_string_pretty(&manifest)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+        )?;
+
+        let mut results = Vec::with_capacity(specs.len());
+        let mut coverage = Vec::new();
+        for (index, slot) in cached.into_iter().enumerate() {
+            if let Some((result, stats)) = slot {
+                results.push(result);
+                coverage.push(SessionCoverage { index: index as u64, stats });
+            }
+        }
+        Ok(CampaignOutcome { results, failures, coverage })
+    }
+
     /// Bounded-memory campaign on an explicit executor. Each worker folds
     /// its sessions through a chunk-buffered sink into per-session
     /// [`OnlineAggregates`] — retaining at most one in-flight columnar
@@ -106,6 +270,188 @@ impl Campaign {
         }
         merged
     }
+
+    /// Self-healing bounded-memory campaign: [`Campaign::run_streaming_on`]
+    /// under fault injection. Only surviving sessions are folded into the
+    /// merged aggregates (in spec order), abandoned sessions surface in
+    /// `failures`, and per-session [`SessionCoverage`] records how much
+    /// of each surviving trace made it past the injected gaps and aborts
+    /// — a gapped campaign reports its losses instead of masquerading as
+    /// complete.
+    pub fn run_streaming_resilient(
+        &self,
+        executor: Executor,
+        bin_s: f64,
+        faults: &FaultConfig,
+        retry_budget: u32,
+    ) -> StreamingOutcome {
+        let _span = obs::span("campaign.run");
+        obs::registry().counter("campaign.runs").inc();
+        let specs = self.specs();
+        let outcome = executor.map_resilient(&specs, retry_budget, |spec, attempt| {
+            let mut fold = ChunkFold::new(bin_s);
+            let stats = run_session_with_faults_into(*spec, faults, attempt, &mut fold);
+            (fold.aggregates, stats)
+        });
+        let mut aggregates = OnlineAggregates::new(bin_s);
+        let mut failures = Vec::new();
+        let mut coverage = Vec::new();
+        for (index, item) in outcome.outputs.into_iter().enumerate() {
+            match item {
+                Ok((agg, stats)) => {
+                    aggregates.merge(&agg);
+                    coverage.push(SessionCoverage { index: index as u64, stats });
+                }
+                Err(f) => failures.push(SessionFailure {
+                    index: index as u64,
+                    spec: specs[index],
+                    attempts: f.attempts,
+                    reason: f.error.to_string(),
+                }),
+            }
+        }
+        StreamingOutcome { aggregates, failures, coverage }
+    }
+}
+
+/// A session the resilient executor gave up on: its spec, how many
+/// attempts were burned, and the terminal panic message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionFailure {
+    /// Index of the session in [`Campaign::specs`] order.
+    pub index: u64,
+    /// The spec that kept failing.
+    pub spec: SessionSpec,
+    /// Total attempts made (1 initial + retries).
+    pub attempts: u32,
+    /// Stringified terminal error.
+    pub reason: String,
+}
+
+/// Per-surviving-session record accounting under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionCoverage {
+    /// Index of the session in [`Campaign::specs`] order.
+    pub index: u64,
+    /// What the fault injector saw, dropped and corrupted.
+    pub stats: FaultStats,
+}
+
+impl SessionCoverage {
+    /// Fraction of emitted records that survived into the result.
+    pub fn fraction(&self) -> f64 {
+        self.stats.coverage()
+    }
+}
+
+/// What a self-healing campaign produced: the surviving results in spec
+/// order, the sessions it had to abandon, and per-survivor coverage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// Surviving session results, in spec order (abandoned sessions are
+    /// simply absent — `failures` names them).
+    pub results: Vec<SessionResult>,
+    /// Sessions abandoned after the retry budget, in spec order.
+    pub failures: Vec<SessionFailure>,
+    /// Fault-injection accounting for each surviving session.
+    pub coverage: Vec<SessionCoverage>,
+}
+
+impl CampaignOutcome {
+    /// True when every session survived.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Fraction of sessions that survived.
+    pub fn survival_rate(&self) -> f64 {
+        let total = self.results.len() + self.failures.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.results.len() as f64 / total as f64
+        }
+    }
+
+    /// The lowest per-session record coverage among survivors (1.0 when
+    /// there are none).
+    pub fn min_coverage(&self) -> f64 {
+        self.coverage.iter().map(SessionCoverage::fraction).fold(1.0, f64::min)
+    }
+}
+
+/// [`CampaignOutcome`] for the bounded-memory path: merged aggregates
+/// over the survivors instead of materialised traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingOutcome {
+    /// Aggregates over surviving sessions, merged in spec order.
+    pub aggregates: OnlineAggregates,
+    /// Sessions abandoned after the retry budget.
+    pub failures: Vec<SessionFailure>,
+    /// Fault-injection accounting for each surviving session.
+    pub coverage: Vec<SessionCoverage>,
+}
+
+/// One persisted session in a checkpoint directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointEntry {
+    /// Session file name under `sessions/`.
+    name: String,
+    /// Index in [`Campaign::specs`] order.
+    index: u64,
+    /// The session's seed (first resume check).
+    seed: u64,
+    /// [`SessionSpec::stable_hash`] at write time (second resume check).
+    spec_hash: u64,
+    /// Records in the persisted trace.
+    records: u64,
+    /// Fault stats of the attempt that produced the persisted trace.
+    stats: FaultStats,
+}
+
+/// The `checkpoint.json` manifest: verified completed sessions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct CheckpointManifest {
+    entries: Vec<CheckpointEntry>,
+}
+
+/// Write a file via a `.tmp` sibling + rename, so readers (and resumed
+/// campaigns) never observe a torn manifest.
+fn write_atomically(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Turn a resilient executor outcome over session specs into a
+/// [`CampaignOutcome`]; `base_index` offsets the reported indices (used
+/// by waves).
+fn collect_outcome(
+    specs: &[SessionSpec],
+    base_index: u64,
+    outcome: ResilientOutcome<FaultSessionRun>,
+) -> CampaignOutcome {
+    let mut results = Vec::with_capacity(specs.len());
+    let mut failures = Vec::new();
+    let mut coverage = Vec::new();
+    for (i, item) in outcome.outputs.into_iter().enumerate() {
+        let index = base_index + i as u64;
+        match item {
+            Ok(run) => {
+                coverage.push(SessionCoverage { index, stats: run.stats });
+                results.push(run.result);
+            }
+            Err(f) => failures.push(SessionFailure {
+                index,
+                spec: specs[i],
+                attempts: f.attempts,
+                reason: f.error.to_string(),
+            }),
+        }
+    }
+    CampaignOutcome { results, failures, coverage }
 }
 
 /// A [`SlotSink`] that buffers at most one columnar chunk of records

@@ -43,6 +43,71 @@ pub struct Dataset {
     root: PathBuf,
 }
 
+/// One named, typed reason a dataset load lost data — the currency of
+/// [`Dataset::load_all_lossy`]. The paper's artifact pipeline faced all
+/// of these in the raw XCAL captures (truncated files, collector
+/// versions newer than the parser, files listed but never flushed) and
+/// salvaged what it could; so does ours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// `manifest.json` is absent (or unreadable at the I/O level).
+    MissingManifest {
+        /// The manifest path that could not be read.
+        path: PathBuf,
+        /// The underlying I/O error.
+        detail: String,
+    },
+    /// `manifest.json` exists but does not parse as a manifest.
+    MalformedManifest {
+        /// The parse error.
+        detail: String,
+    },
+    /// The manifest declares a format version newer than this build
+    /// understands. Sessions are still attempted best-effort.
+    UnknownVersion {
+        /// The version the manifest declares.
+        found: u32,
+        /// The newest version this build writes.
+        supported: u32,
+    },
+    /// A session file named by the manifest is missing on disk.
+    MissingSession {
+        /// The manifest entry.
+        name: String,
+    },
+    /// A session file exists but does not parse — truncation lands here.
+    MalformedSession {
+        /// The manifest entry.
+        name: String,
+        /// The parse error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::MissingManifest { path, detail } => {
+                write!(f, "manifest {} unreadable: {detail}", path.display())
+            }
+            LoadError::MalformedManifest { detail } => {
+                write!(f, "manifest does not parse: {detail}")
+            }
+            LoadError::UnknownVersion { found, supported } => {
+                write!(f, "dataset version {found} is newer than supported {supported}")
+            }
+            LoadError::MissingSession { name } => {
+                write!(f, "session file {name} named by the manifest is missing")
+            }
+            LoadError::MalformedSession { name, detail } => {
+                write!(f, "session file {name} does not parse: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
 /// Current manifest format version. Version 2 stores session traces in
 /// the columnar wire form (one concatenated array per KPI column, flag
 /// columns bit-packed into `u64` words); version 1 stored an array of row
@@ -68,47 +133,114 @@ impl Dataset {
         self.root.join("manifest.json")
     }
 
+    /// The canonical session file name: export index, operator acronym,
+    /// seed.
+    pub fn session_file_name(index: usize, result: &SessionResult) -> String {
+        format!(
+            "{:03}_{}_seed{}.json",
+            index,
+            result.spec.operator.acronym().replace(['[', ']'], ""),
+            result.spec.seed
+        )
+    }
+
+    /// Canonical JSON encoding of one session record. Serialises straight
+    /// from the borrowed result — the columnar trace is encoded column by
+    /// column, never cloned.
+    fn encode_session(result: &SessionResult) -> io::Result<String> {
+        let record = Value::Object(vec![
+            ("spec".to_string(), result.spec.to_value()),
+            ("trace".to_string(), result.trace.to_value()),
+        ]);
+        serde_json::to_string(&record).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// A sibling of `root` carrying the given suffix — staging and
+    /// tombstone directories live next to the dataset, never inside it.
+    fn sibling(&self, suffix: &str) -> PathBuf {
+        let mut s = self.root.clone().into_os_string();
+        s.push(suffix);
+        PathBuf::from(s)
+    }
+
     /// Export a batch of session results, writing the manifest and one
     /// JSON file per session. Returns the manifest.
+    ///
+    /// The export is **atomic at the directory level**: everything is
+    /// staged into a `<root>.partial-<pid>` sibling first and swapped
+    /// into place only once the manifest is on disk. A failure mid-export
+    /// (full disk, killed process) leaves the previous dataset — or
+    /// nothing — at `root`, never a torn half-export that `load_all`
+    /// would trip over; a previous export at `root` is replaced
+    /// wholesale, so stale session files from an older, larger campaign
+    /// cannot shadow the new manifest.
     pub fn export(
         &self,
         description: &str,
         results: &[SessionResult],
     ) -> io::Result<DatasetManifest> {
         let _span = obs::span("dataset.export");
-        std::fs::create_dir_all(self.sessions_dir())?;
-        let mut manifest = DatasetManifest {
-            description: description.to_string(),
-            sessions: Vec::new(),
-            total_records: 0,
-            version: DATASET_VERSION,
-        };
-        for (i, r) in results.iter().enumerate() {
-            let name = format!(
-                "{:03}_{}_seed{}.json",
-                i,
-                r.spec.operator.acronym().replace(['[', ']'], ""),
-                r.spec.seed
-            );
-            // Serialize straight from the borrowed result — the columnar
-            // trace is encoded column by column, never cloned.
-            let record = Value::Object(vec![
-                ("spec".to_string(), r.spec.to_value()),
-                ("trace".to_string(), r.trace.to_value()),
-            ]);
-            let json = serde_json::to_string(&record)
+        let staging = self.sibling(&format!(".partial-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&staging);
+        let staged = Dataset::at(&staging);
+        let manifest = (|| -> io::Result<DatasetManifest> {
+            std::fs::create_dir_all(staged.sessions_dir())?;
+            let mut manifest = DatasetManifest {
+                description: description.to_string(),
+                sessions: Vec::new(),
+                total_records: 0,
+                version: DATASET_VERSION,
+            };
+            for (i, r) in results.iter().enumerate() {
+                let name = Dataset::session_file_name(i, r);
+                std::fs::write(staged.sessions_dir().join(&name), Dataset::encode_session(r)?)?;
+                manifest.total_records += r.trace.len() as u64;
+                manifest.sessions.push(name);
+            }
+            let json = serde_json::to_string_pretty(&manifest)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            std::fs::write(self.sessions_dir().join(&name), json)?;
-            manifest.total_records += r.trace.len() as u64;
-            manifest.sessions.push(name);
-        }
-        let json = serde_json::to_string_pretty(&manifest)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(self.manifest_path(), json)?;
+            std::fs::write(staged.manifest_path(), json)?;
+            Ok(manifest)
+        })()
+        .inspect_err(|_| {
+            let _ = std::fs::remove_dir_all(&staging);
+        })?;
+
+        // Swap the finished staging directory into place. An existing
+        // dataset moves aside first so the rename into `root` cannot
+        // collide; the tombstone is deleted once the swap lands.
+        let stale = self.sibling(&format!(".stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&stale);
+        let swap = (|| -> io::Result<()> {
+            if self.root.symlink_metadata().is_ok() {
+                std::fs::rename(&self.root, &stale)?;
+            }
+            std::fs::rename(&staging, &self.root)
+        })()
+        .inspect_err(|_| {
+            let _ = std::fs::remove_dir_all(&staging);
+        });
+        swap?;
+        let _ = std::fs::remove_dir_all(&stale);
+
         let reg = obs::registry();
         reg.counter("dataset.exports").inc();
         reg.counter("dataset.exported_records").add(manifest.total_records);
         Ok(manifest)
+    }
+
+    /// Write one session into `sessions/` **incrementally** (no manifest
+    /// involved) — the checkpoint path. The file is written to a `.tmp`
+    /// sibling and renamed into place, so a kill mid-write never leaves a
+    /// torn session file under its final name. Returns the file name.
+    pub fn write_session(&self, index: usize, result: &SessionResult) -> io::Result<String> {
+        std::fs::create_dir_all(self.sessions_dir())?;
+        let name = Dataset::session_file_name(index, result);
+        let tmp = self.sessions_dir().join(format!("{name}.tmp"));
+        std::fs::write(&tmp, Dataset::encode_session(result)?)?;
+        std::fs::rename(&tmp, self.sessions_dir().join(&name))?;
+        obs::registry().counter("dataset.checkpointed_sessions").inc();
+        Ok(name)
     }
 
     /// Read the manifest.
@@ -126,6 +258,67 @@ impl Dataset {
     /// Load every session in manifest order.
     pub fn load_all(&self) -> io::Result<Vec<SessionRecord>> {
         self.manifest()?.sessions.iter().map(|n| self.load_session(n)).collect()
+    }
+
+    /// Load everything salvageable, in manifest order, with one typed
+    /// [`LoadError`] per piece of data that could not be recovered.
+    ///
+    /// Unlike the all-or-nothing [`Dataset::load_all`], a truncated
+    /// session file, a manifest entry whose file vanished, or a manifest
+    /// from a newer format version each cost only what they name — every
+    /// healthy session still loads. An unreadable or unparsable manifest
+    /// is terminal (there is nothing to walk) and yields a single error.
+    pub fn load_all_lossy(&self) -> (Vec<SessionRecord>, Vec<LoadError>) {
+        let _span = obs::span("dataset.load_lossy");
+        let mut errors = Vec::new();
+        let manifest = match std::fs::read_to_string(self.manifest_path()) {
+            Ok(json) => match serde_json::from_str::<DatasetManifest>(&json) {
+                Ok(m) => m,
+                Err(e) => {
+                    errors.push(LoadError::MalformedManifest { detail: e.to_string() });
+                    return (Vec::new(), errors);
+                }
+            },
+            Err(e) => {
+                errors.push(LoadError::MissingManifest {
+                    path: self.manifest_path(),
+                    detail: e.to_string(),
+                });
+                return (Vec::new(), errors);
+            }
+        };
+        if manifest.version > DATASET_VERSION {
+            // Newer collector than parser: note it, then salvage
+            // best-effort — per-session sniffing may still understand
+            // the files.
+            errors.push(LoadError::UnknownVersion {
+                found: manifest.version,
+                supported: DATASET_VERSION,
+            });
+        }
+        let mut records = Vec::with_capacity(manifest.sessions.len());
+        for name in &manifest.sessions {
+            match std::fs::read_to_string(self.sessions_dir().join(name)) {
+                Ok(json) => match serde_json::from_str::<SessionRecord>(&json) {
+                    Ok(record) => records.push(record),
+                    Err(e) => errors.push(LoadError::MalformedSession {
+                        name: name.clone(),
+                        detail: e.to_string(),
+                    }),
+                },
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    errors.push(LoadError::MissingSession { name: name.clone() });
+                }
+                Err(e) => errors.push(LoadError::MalformedSession {
+                    name: name.clone(),
+                    detail: e.to_string(),
+                }),
+            }
+        }
+        let reg = obs::registry();
+        reg.counter("dataset.salvaged_sessions").add(records.len() as u64);
+        reg.counter("dataset.load_errors").add(errors.len() as u64);
+        (records, errors)
     }
 }
 

@@ -27,8 +27,10 @@ use std::sync::mpsc;
 /// These conditions previously hid behind a `debug_assert!` and a bare
 /// `expect` — invisible in release builds, nameless in debug ones. They
 /// indicate a broken executor (or a `work` closure that unwound without
-/// the scope propagating it), never bad input data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// the scope propagating it), never bad input data — except
+/// [`ExecutorError::WorkerPanic`], which [`Executor::map_resilient`]
+/// produces when a caught panic exhausts its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecutorError {
     /// A worker delivered an output for the same index twice.
     DuplicateDelivery {
@@ -53,6 +55,16 @@ pub enum ExecutorError {
         /// Total number of work items in the batch.
         total: usize,
     },
+    /// A worker panicked while processing an item. Produced by
+    /// [`Executor::map_resilient`] after the retry budget is exhausted;
+    /// `payload` is the panic message (stringified, `"<non-string panic
+    /// payload>"` when the payload was neither `&str` nor `String`).
+    WorkerPanic {
+        /// The index of the item whose worker panicked.
+        index: usize,
+        /// The panic payload of the *last* failing attempt.
+        payload: String,
+    },
 }
 
 impl std::fmt::Display for ExecutorError {
@@ -69,6 +81,9 @@ impl std::fmt::Display for ExecutorError {
                     f,
                     "no delivery for index {index}: received {received} of {total} outputs"
                 )
+            }
+            ExecutorError::WorkerPanic { index, ref payload } => {
+                write!(f, "worker panicked on item {index}: {payload}")
             }
         }
     }
@@ -89,7 +104,8 @@ pub struct Executor {
 impl Executor {
     /// An executor with an explicit thread count (0 is clamped to 1).
     pub fn new(threads: usize) -> Executor {
-        Executor { threads: NonZeroUsize::new(threads.max(1)).unwrap() }
+        // Infallible: `.max(1)` guarantees the value is nonzero.
+        Executor { threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is nonzero") }
     }
 
     /// The sequential executor.
@@ -212,6 +228,163 @@ impl Executor {
     pub fn run_sessions(&self, specs: &[SessionSpec]) -> Vec<SessionResult> {
         self.map(specs, |spec| SessionResult::run(*spec))
     }
+
+    /// [`Executor::map`] with panic isolation and bounded retries.
+    ///
+    /// Each work item runs under [`std::panic::catch_unwind`]; a panic is
+    /// converted into [`ExecutorError::WorkerPanic`] instead of tearing
+    /// down the campaign. Failed items are then retried **in spec order
+    /// on the caller's thread**, up to `retry_budget` further attempts
+    /// each, with `work` receiving the attempt number (0 = first try).
+    /// Because retries are sequential and ordered, the outcome is a pure
+    /// function of `(items, work)` — byte-identical across thread counts,
+    /// the same contract as [`Executor::map`] (`tests/chaos.rs`).
+    ///
+    /// Accounting lands on the `executor.worker_panics`,
+    /// `executor.retries` and `executor.abandoned` obs counters, and —
+    /// under `MIDBAND5G_AUDIT` — on the `worker_panic` /
+    /// `executor_abandoned` audit invariants (the two counters chaos
+    /// gating jobs deliberately allow).
+    ///
+    /// `work` must be effectively pure per `(item, attempt)`: a panic
+    /// may leave shared state poisoned, which is why session work
+    /// closures derive everything from the spec's seed.
+    pub fn map_resilient<T, O, F>(
+        &self,
+        items: &[T],
+        retry_budget: u32,
+        work: F,
+    ) -> ResilientOutcome<O>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(&T, u32) -> O + Sync,
+    {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let _span = obs::span("executor.map_resilient");
+        let reg = obs::registry();
+        let attempt_item = |item: &T, attempt: u32| -> Result<O, String> {
+            catch_unwind(AssertUnwindSafe(|| work(item, attempt))).map_err(|payload| {
+                reg.counter("executor.worker_panics").inc();
+                if audit::enabled() {
+                    audit::violation(Invariant::WorkerPanic);
+                }
+                payload_string(payload.as_ref())
+            })
+        };
+
+        // Main pass: full parallel fan-out, panics caught per item.
+        let first: Vec<Result<O, String>> = self.map(items, |item| attempt_item(item, 0));
+
+        // Retry pass: failed items re-run sequentially in spec order so
+        // the retry accounting (and any attempt-dependent behaviour in
+        // `work`) is independent of which worker failed first.
+        let mut outputs: Vec<Result<O, ItemFailure>> = Vec::with_capacity(items.len());
+        let mut worker_panics = 0u64;
+        let mut retries = 0u64;
+        let mut abandoned = 0u64;
+        for (index, outcome) in first.into_iter().enumerate() {
+            match outcome {
+                Ok(output) => outputs.push(Ok(output)),
+                Err(mut payload) => {
+                    worker_panics += 1;
+                    let mut attempts = 1u32;
+                    let mut recovered = None;
+                    for attempt in 1..=retry_budget {
+                        retries += 1;
+                        reg.counter("executor.retries").inc();
+                        attempts += 1;
+                        match attempt_item(&items[index], attempt) {
+                            Ok(output) => {
+                                recovered = Some(output);
+                                break;
+                            }
+                            Err(p) => {
+                                worker_panics += 1;
+                                payload = p;
+                            }
+                        }
+                    }
+                    match recovered {
+                        Some(output) => outputs.push(Ok(output)),
+                        None => {
+                            abandoned += 1;
+                            reg.counter("executor.abandoned").inc();
+                            if audit::enabled() {
+                                audit::violation(Invariant::ExecutorAbandoned);
+                            }
+                            outputs.push(Err(ItemFailure {
+                                index,
+                                attempts,
+                                error: ExecutorError::WorkerPanic { index, payload },
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        ResilientOutcome { outputs, worker_panics, retries, abandoned }
+    }
+}
+
+/// Stringify a caught panic payload (the two shapes `panic!` produces).
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A work item that exhausted its retry budget in
+/// [`Executor::map_resilient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemFailure {
+    /// Index of the failed item in the input batch.
+    pub index: usize,
+    /// Total attempts made (1 initial + retries).
+    pub attempts: u32,
+    /// The terminal error — [`ExecutorError::WorkerPanic`] carrying the
+    /// last panic payload.
+    pub error: ExecutorError,
+}
+
+impl std::fmt::Display for ItemFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} abandoned after {} attempts: {}", self.index, self.attempts, self.error)
+    }
+}
+
+impl std::error::Error for ItemFailure {}
+
+/// The result of [`Executor::map_resilient`]: per-item outcomes in input
+/// order plus the failure accounting.
+#[derive(Debug)]
+pub struct ResilientOutcome<O> {
+    /// One entry per input item, in input order: the output, or the
+    /// failure that abandoned it.
+    pub outputs: Vec<Result<O, ItemFailure>>,
+    /// Panics caught across all attempts.
+    pub worker_panics: u64,
+    /// Retry attempts performed.
+    pub retries: u64,
+    /// Items abandoned after the retry budget.
+    pub abandoned: u64,
+}
+
+impl<O> ResilientOutcome<O> {
+    /// Number of items that ultimately succeeded.
+    pub fn succeeded(&self) -> usize {
+        self.outputs.iter().filter(|o| o.is_ok()).count()
+    }
+
+    /// The failures, in input order.
+    pub fn failures(&self) -> impl Iterator<Item = &ItemFailure> {
+        self.outputs.iter().filter_map(|o| o.as_ref().err())
+    }
 }
 
 /// Reassemble indexed deliveries into input order, verifying that every
@@ -324,5 +497,70 @@ mod tests {
             assert!(*x < 8, "boom");
             *x
         });
+    }
+
+    /// Work that panics on attempts `0..n` for item `x = n`, succeeds
+    /// after — the same attempt-counted shape `measure::fault` injects.
+    fn flaky(x: &u32, attempt: u32) -> u32 {
+        assert!(attempt >= *x, "flaky item {x} panics on attempt {attempt}");
+        *x * 10
+    }
+
+    #[test]
+    fn map_resilient_catches_retries_and_heals() {
+        // Items 0..=2 need 0/1/2 retries; budget 2 heals everything.
+        let items: Vec<u32> = vec![0, 1, 2, 0, 1];
+        let outcome = Executor::new(4).map_resilient(&items, 2, flaky);
+        assert_eq!(outcome.abandoned, 0);
+        assert_eq!(outcome.succeeded(), 5);
+        let outputs: Vec<u32> = outcome.outputs.into_iter().map(Result::unwrap).collect();
+        assert_eq!(outputs, vec![0, 10, 20, 0, 10]);
+        // 0-items never panic; 1-items panic once, 2-items twice.
+        assert_eq!(outcome.worker_panics, 1 + 2 + 1);
+        assert_eq!(outcome.retries, 1 + 2 + 1);
+    }
+
+    #[test]
+    fn map_resilient_abandons_past_budget_with_named_failure() {
+        let items: Vec<u32> = vec![0, 5, 1];
+        let outcome = Executor::new(2).map_resilient(&items, 1, flaky);
+        assert_eq!(outcome.abandoned, 1);
+        assert_eq!(outcome.succeeded(), 2);
+        let failure = outcome.outputs[1].as_ref().unwrap_err();
+        assert_eq!(failure.index, 1);
+        assert_eq!(failure.attempts, 2);
+        match &failure.error {
+            ExecutorError::WorkerPanic { index, payload } => {
+                assert_eq!(*index, 1);
+                assert!(payload.contains("flaky item 5"), "payload: {payload}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_resilient_is_deterministic_across_thread_counts() {
+        let items: Vec<u32> = vec![1, 0, 2, 3, 0, 1, 2];
+        let describe = |outcome: ResilientOutcome<u32>| -> Vec<Result<u32, String>> {
+            (outcome.outputs.into_iter())
+                .map(|o| o.map_err(|f| f.to_string()))
+                .collect()
+        };
+        let reference = describe(Executor::sequential().map_resilient(&items, 2, flaky));
+        for threads in [2, 4, 8] {
+            let parallel = describe(Executor::new(threads).map_resilient(&items, 2, flaky));
+            assert_eq!(reference, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn map_resilient_without_panics_matches_map() {
+        let items: Vec<u64> = (0..32).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        let outcome = Executor::new(4).map_resilient(&items, 2, |x, _attempt| x * 3);
+        assert_eq!(outcome.worker_panics, 0);
+        assert_eq!(outcome.retries, 0);
+        let outputs: Vec<u64> = outcome.outputs.into_iter().map(Result::unwrap).collect();
+        assert_eq!(outputs, expect);
     }
 }

@@ -1,0 +1,455 @@
+//! Deterministic fault injection — the chaos layer of the campaign
+//! engine.
+//!
+//! The paper's measurement pipeline lived with failure as a constant:
+//! XCAL drive-test logs have collector gaps where the diag pipe stalled,
+//! sessions abort mid-capture on RRC re-establishment or tool crashes,
+//! and captured files arrive truncated. The authors analyse what
+//! survived, not a perfect record. This module reproduces those failure
+//! modes *deterministically*: a [`FaultPlan`] is a pure function of the
+//! session seed and the [`FaultConfig`] rates, derived through the same
+//! labelled [`SeedTree`] that drives every other random stream — so a
+//! chaotic campaign is byte-reproducible across thread counts exactly
+//! like a healthy one (`tests/chaos.rs` enforces this).
+//!
+//! Four paper-realistic faults are injectable:
+//!
+//! * **Collector gap** — a contiguous time span of slot records is
+//!   dropped, as XCAL does when its diag pipe stalls.
+//! * **Session abort** — the session terminates early, leaving a partial
+//!   trace (RRC re-establishment, tool crash).
+//! * **Record corruption** — measurement-quality fields (`sinr_db`,
+//!   `rsrp_dbm`, `rsrq_db`) of injected records become NaN, the way a
+//!   torn capture decodes into garbage. Downstream `analysis::stats`
+//!   helpers are NaN-safe, so corrupted records degrade coverage instead
+//!   of poisoning figures.
+//! * **Worker panic** — the session's run deliberately panics mid-slot.
+//!   [`crate::executor::Executor::map_resilient`] catches it, retries
+//!   within budget, and abandons only sessions whose plan out-panics the
+//!   budget.
+//!
+//! [`FaultConfig::default`] is all-zero: every existing test, bench and
+//! determinism harness runs through a quiet plan that injects nothing,
+//! so the chaos layer is provably free when disabled.
+
+use crate::session::{SessionResult, SessionSpec};
+use radio_channel::rng::SeedTree;
+use ran::kpi::{KpiTrace, SlotKpi};
+use ran::sink::SlotSink;
+use rand::RngCore;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-session fault rates, each a probability in `[0, 1]`.
+///
+/// The default is all-zero — no faults, byte-identical behaviour to the
+/// fault-free code path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a session loses a contiguous span of records
+    /// (collector gap).
+    pub gap_rate: f64,
+    /// Probability that a session terminates early with a partial trace.
+    pub abort_rate: f64,
+    /// Per-record probability of NaN-corrupted measurement fields.
+    pub corrupt_rate: f64,
+    /// Probability that a session's run panics (and, at compounded odds,
+    /// keeps panicking on retries — see [`FaultPlan::for_spec`]).
+    pub panic_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { gap_rate: 0.0, abort_rate: 0.0, corrupt_rate: 0.0, panic_rate: 0.0 }
+    }
+}
+
+impl FaultConfig {
+    /// True when every rate is zero — the plan derived from this config
+    /// injects nothing.
+    pub fn is_quiet(&self) -> bool {
+        self.gap_rate == 0.0
+            && self.abort_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.panic_rate == 0.0
+    }
+}
+
+/// The deliberate-panic part of a plan: the session panics at the first
+/// record at or after `at_s`, on attempts `0..attempts`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PanicPlan {
+    /// Session time at which the panic fires, seconds.
+    pub at_s: f64,
+    /// Number of *initial attempts* that panic; attempt `attempts` (and
+    /// later) succeed. A plan whose `attempts` exceeds the executor's
+    /// retry budget produces an abandoned session.
+    pub attempts: u32,
+}
+
+/// A session's deterministic fault schedule — a pure function of
+/// `(session seed, FaultConfig)`, independent of thread count, executor
+/// or wall clock. See [`FaultPlan::for_spec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Collector gap: records with `time_s` in `[start, end)` are
+    /// dropped.
+    pub gap_s: Option<(f64, f64)>,
+    /// Session abort: the first record at or after this time latches the
+    /// abort and every subsequent record is dropped.
+    pub abort_s: Option<f64>,
+    /// Deliberate worker panic.
+    pub panic: Option<PanicPlan>,
+    /// Per-record corruption probability (0 disables the corruption
+    /// stream entirely).
+    pub corrupt_rate: f64,
+    /// Seed of the per-record corruption stream.
+    corrupt_seed: u64,
+}
+
+/// Map a raw `u64` draw onto `[0, 1)` with 53 bits of precision.
+fn unit(draw: u64) -> f64 {
+    (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// The no-fault plan.
+    pub fn quiet() -> FaultPlan {
+        FaultPlan { gap_s: None, abort_s: None, panic: None, corrupt_rate: 0.0, corrupt_seed: 0 }
+    }
+
+    /// Derive the schedule for one session spec.
+    ///
+    /// All randomness comes from the `"fault"` child of the session's
+    /// seed tree (keyed by the raw session seed, *not* the city, so two
+    /// operators sharing an environment still fault independently). A
+    /// fixed number of uniforms is drawn in a fixed order regardless of
+    /// which rates are zero, so raising one rate never perturbs the
+    /// schedule another rate would produce.
+    ///
+    /// Panic persistence across retries: when the panic fault fires, a
+    /// second uniform `u` picks how many initial attempts panic —
+    /// 3 if `u < panic_rate` (usually beyond a small retry budget ⇒
+    /// abandoned), 2 if `u < 0.5`, else 1. With a budget of ≥ 2 retries
+    /// most panicking sessions therefore self-heal, and a deterministic
+    /// minority surfaces in `CampaignOutcome::failures`.
+    pub fn for_spec(spec: &SessionSpec, config: &FaultConfig) -> FaultPlan {
+        if config.is_quiet() {
+            return FaultPlan::quiet();
+        }
+        let seeds = SeedTree::new(spec.seed).child("fault");
+        let mut rng = seeds.stream("plan");
+        let draws: [f64; 8] = {
+            let mut d = [0.0; 8];
+            for slot in d.iter_mut() {
+                *slot = unit(rng.next_u64());
+            }
+            d
+        };
+        let d = spec.duration_s.max(0.0);
+
+        let gap_s = (draws[0] < config.gap_rate).then(|| {
+            let start = draws[1] * 0.9 * d;
+            let len = (0.05 + 0.25 * draws[2]) * d;
+            (start, (start + len).min(d))
+        });
+        let abort_s = (draws[3] < config.abort_rate).then(|| (0.1 + 0.85 * draws[4]) * d);
+        let panic = (draws[5] < config.panic_rate).then(|| PanicPlan {
+            at_s: draws[6] * d,
+            attempts: if draws[7] < config.panic_rate {
+                3
+            } else if draws[7] < 0.5 {
+                2
+            } else {
+                1
+            },
+        });
+        FaultPlan {
+            gap_s,
+            abort_s,
+            panic,
+            corrupt_rate: config.corrupt_rate,
+            corrupt_seed: seeds.child("corrupt").root(),
+        }
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_quiet(&self) -> bool {
+        self.gap_s.is_none()
+            && self.abort_s.is_none()
+            && self.panic.is_none()
+            && self.corrupt_rate == 0.0
+    }
+}
+
+/// What a [`FaultInjector`] did to one session attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Records the simulator emitted.
+    pub seen: u64,
+    /// Records forwarded to the inner sink.
+    pub forwarded: u64,
+    /// Records dropped inside a collector gap.
+    pub dropped_gap: u64,
+    /// Records dropped after a session abort.
+    pub dropped_abort: u64,
+    /// Records whose measurement fields were NaN-corrupted.
+    pub corrupted: u64,
+}
+
+impl FaultStats {
+    /// Fraction of emitted records that survived into the sink
+    /// (`1.0` for an empty session).
+    pub fn coverage(&self) -> f64 {
+        if self.seen == 0 {
+            1.0
+        } else {
+            self.forwarded as f64 / self.seen as f64
+        }
+    }
+}
+
+/// A [`SlotSink`] adapter that applies a [`FaultPlan`] to the record
+/// stream on its way into `inner`: drops gap/abort spans, corrupts
+/// injected records, and panics where the plan says a worker dies.
+///
+/// The injector sits *outside* the simulator, so the simulated radio
+/// stays untouched — faults corrupt the *measurement* of the session,
+/// exactly like the paper's collector failures.
+pub struct FaultInjector<'a, S: SlotSink> {
+    inner: &'a mut S,
+    plan: &'a FaultPlan,
+    /// Which attempt at this session this is (0 = first try).
+    attempt: u32,
+    corrupt_rng: Option<ChaCha12Rng>,
+    aborted: bool,
+    stats: FaultStats,
+}
+
+impl<'a, S: SlotSink> FaultInjector<'a, S> {
+    /// Wrap `inner` for one attempt at a session.
+    pub fn new(inner: &'a mut S, plan: &'a FaultPlan, attempt: u32) -> Self {
+        let corrupt_rng = (plan.corrupt_rate > 0.0)
+            .then(|| SeedTree::new(plan.corrupt_seed).stream("records"));
+        FaultInjector { inner, plan, attempt, corrupt_rng, aborted: false, stats: FaultStats::default() }
+    }
+
+    /// What was injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+impl<S: SlotSink> SlotSink for FaultInjector<'_, S> {
+    fn push(&mut self, kpi: &SlotKpi) {
+        self.stats.seen += 1;
+
+        if let Some(p) = self.plan.panic {
+            if self.attempt < p.attempts && kpi.time_s >= p.at_s {
+                obs::registry().counter("fault.injected_panics").inc();
+                panic!(
+                    "injected worker panic at t={:.4}s (attempt {} of {} planned)",
+                    kpi.time_s, self.attempt, p.attempts
+                );
+            }
+        }
+        if let Some(abort_s) = self.plan.abort_s {
+            if self.aborted || kpi.time_s >= abort_s {
+                if !self.aborted {
+                    self.aborted = true;
+                    obs::registry().counter("fault.aborted_sessions").inc();
+                }
+                self.stats.dropped_abort += 1;
+                return;
+            }
+        }
+        if let Some((start, end)) = self.plan.gap_s {
+            if kpi.time_s >= start && kpi.time_s < end {
+                self.stats.dropped_gap += 1;
+                obs::registry().counter("fault.gap_records").inc();
+                return;
+            }
+        }
+        if let Some(rng) = self.corrupt_rng.as_mut() {
+            if unit(rng.next_u64()) < self.plan.corrupt_rate {
+                let mut corrupted = *kpi;
+                corrupted.sinr_db = f64::NAN;
+                corrupted.rsrp_dbm = f64::NAN;
+                corrupted.rsrq_db = f64::NAN;
+                self.stats.corrupted += 1;
+                self.stats.forwarded += 1;
+                obs::registry().counter("fault.corrupted_records").inc();
+                self.inner.push(&corrupted);
+                return;
+            }
+        }
+        self.stats.forwarded += 1;
+        self.inner.push(kpi);
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
+}
+
+/// One attempt at a session under a fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSessionRun {
+    /// The (possibly gapped, aborted or corrupted) session result.
+    pub result: SessionResult,
+    /// What the injector did to the record stream.
+    pub stats: FaultStats,
+}
+
+/// Run one session attempt under `config`, materialising the surviving
+/// trace. Panics when the plan's [`PanicPlan`] covers `attempt` — callers
+/// go through [`crate::executor::Executor::map_resilient`], which catches
+/// and retries.
+pub fn run_session_with_faults(
+    spec: SessionSpec,
+    config: &FaultConfig,
+    attempt: u32,
+) -> FaultSessionRun {
+    let plan = FaultPlan::for_spec(&spec, config);
+    let mut trace = KpiTrace::new();
+    let stats = {
+        let mut injector = FaultInjector::new(&mut trace, &plan, attempt);
+        SessionResult::run_with_sink(spec, &mut injector);
+        injector.stats()
+    };
+    FaultSessionRun { result: SessionResult { spec, trace }, stats }
+}
+
+/// Run one session attempt under `config`, streaming survivors into
+/// `sink` (the bounded-memory path). Returns the injector's stats.
+pub fn run_session_with_faults_into<S: SlotSink>(
+    spec: SessionSpec,
+    config: &FaultConfig,
+    attempt: u32,
+    sink: &mut S,
+) -> FaultStats {
+    let plan = FaultPlan::for_spec(&spec, config);
+    let mut injector = FaultInjector::new(sink, &plan, attempt);
+    SessionResult::run_with_sink(spec, &mut injector);
+    injector.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use operators::Operator;
+    use ran::kpi::Direction;
+
+    fn spec(seed: u64) -> SessionSpec {
+        SessionSpec::stationary(Operator::VodafoneSpain, 0, 1.0, seed)
+    }
+
+    const CHAOS: FaultConfig =
+        FaultConfig { gap_rate: 0.5, abort_rate: 0.3, corrupt_rate: 0.02, panic_rate: 0.3 };
+
+    #[test]
+    fn quiet_config_yields_quiet_plan() {
+        let plan = FaultPlan::for_spec(&spec(1), &FaultConfig::default());
+        assert!(plan.is_quiet());
+        assert_eq!(plan, FaultPlan::quiet());
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_config() {
+        for seed in 0..64 {
+            let a = FaultPlan::for_spec(&spec(seed), &CHAOS);
+            let b = FaultPlan::for_spec(&spec(seed), &CHAOS);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rates_gate_their_own_fault_only() {
+        // Enabling the gap must not move the abort/panic draws: the same
+        // seed with gap_rate raised produces the identical abort/panic
+        // sub-plan.
+        for seed in 0..64 {
+            let gaps_only = FaultConfig { gap_rate: 1.0, ..FaultConfig::default() };
+            let everything = FaultConfig { gap_rate: 1.0, ..CHAOS };
+            let a = FaultPlan::for_spec(&spec(seed), &gaps_only);
+            let b = FaultPlan::for_spec(&spec(seed), &everything);
+            assert_eq!(a.gap_s, b.gap_s, "seed {seed}: abort/panic rates moved the gap span");
+        }
+    }
+
+    #[test]
+    fn quiet_injection_is_a_no_op() {
+        let healthy = SessionResult::run(spec(7));
+        let run = run_session_with_faults(spec(7), &FaultConfig::default(), 0);
+        assert_eq!(run.result, healthy);
+        assert_eq!(run.stats.seen, run.stats.forwarded);
+        assert_eq!(run.stats.coverage(), 1.0);
+    }
+
+    #[test]
+    fn gap_drops_a_contiguous_span() {
+        let config = FaultConfig { gap_rate: 1.0, ..FaultConfig::default() };
+        let healthy = SessionResult::run(spec(3));
+        let run = run_session_with_faults(spec(3), &config, 0);
+        assert!(run.stats.dropped_gap > 0, "gap_rate=1 must drop records");
+        assert_eq!(run.stats.forwarded as usize, run.result.trace.len());
+        assert!(run.result.trace.len() < healthy.trace.len());
+        // The dropped records form one time span: no surviving record
+        // falls inside the planned gap.
+        let plan = FaultPlan::for_spec(&spec(3), &config);
+        let (start, end) = plan.gap_s.expect("gap planned");
+        assert!(run.result.trace.iter().all(|r| r.time_s < start || r.time_s >= end));
+    }
+
+    #[test]
+    fn abort_truncates_the_trace() {
+        let config = FaultConfig { abort_rate: 1.0, ..FaultConfig::default() };
+        let run = run_session_with_faults(spec(5), &config, 0);
+        let plan = FaultPlan::for_spec(&spec(5), &config);
+        let abort_s = plan.abort_s.expect("abort planned");
+        assert!(run.stats.dropped_abort > 0);
+        assert!(run.result.trace.iter().all(|r| r.time_s < abort_s));
+        assert!(run.stats.coverage() < 1.0);
+    }
+
+    #[test]
+    fn corruption_nans_measurement_fields_only() {
+        let config = FaultConfig { corrupt_rate: 0.1, ..FaultConfig::default() };
+        let healthy = SessionResult::run(spec(11));
+        let run = run_session_with_faults(spec(11), &config, 0);
+        assert!(run.stats.corrupted > 0, "10% corruption over a 1 s session must hit");
+        assert_eq!(run.result.trace.len(), healthy.trace.len(), "corruption never drops records");
+        let nan_records = run.result.trace.iter().filter(|r| r.sinr_db.is_nan()).count();
+        assert_eq!(nan_records as u64, run.stats.corrupted);
+        // Payload fields are untouched: throughput is unchanged.
+        assert_eq!(
+            run.result.trace.mean_throughput_mbps(Direction::Dl),
+            healthy.trace.mean_throughput_mbps(Direction::Dl)
+        );
+    }
+
+    #[test]
+    fn planned_panic_fires_then_heals() {
+        let config = FaultConfig { panic_rate: 1.0, ..FaultConfig::default() };
+        let plan = FaultPlan::for_spec(&spec(2), &config);
+        let p = plan.panic.expect("panic planned");
+        let panicked = std::panic::catch_unwind(|| run_session_with_faults(spec(2), &config, 0));
+        assert!(panicked.is_err(), "attempt 0 must panic");
+        // The attempt past the planned count completes.
+        let healed = run_session_with_faults(spec(2), &config, p.attempts);
+        assert!(!healed.result.trace.is_empty());
+    }
+
+    #[test]
+    fn injected_panics_are_deterministic_across_attempt_replays() {
+        let config = FaultConfig { panic_rate: 1.0, ..FaultConfig::default() };
+        let a = std::panic::catch_unwind(|| run_session_with_faults(spec(2), &config, 0))
+            .expect_err("attempt 0 panics");
+        let b = std::panic::catch_unwind(|| run_session_with_faults(spec(2), &config, 0))
+            .expect_err("replay panics identically");
+        let msg = |p: Box<dyn std::any::Any + Send>| {
+            p.downcast_ref::<String>().cloned().unwrap_or_default()
+        };
+        assert_eq!(msg(a), msg(b));
+    }
+}

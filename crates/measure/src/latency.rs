@@ -26,9 +26,42 @@ pub struct LatencyResult {
     pub bler_positive_stats: BoxplotStats,
 }
 
+/// Why a latency experiment produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatencyError {
+    /// Zero probes requested — there is no distribution to summarise.
+    NoProbes {
+        /// The operator the experiment was asked to measure.
+        operator: String,
+    },
+}
+
+impl std::fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatencyError::NoProbes { operator } => {
+                write!(f, "latency experiment for {operator} requested zero probes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatencyError {}
+
 /// Run the latency experiment for one operator. FDD-primary operators use
 /// the no-alignment FDD pseudo-pattern (their latency is processing-bound).
-pub fn measure_latency(operator: Operator, probes: usize, seed: u64) -> LatencyResult {
+///
+/// Errors with [`LatencyError::NoProbes`] when `probes == 0` — the
+/// boxplot summaries are undefined over an empty sample set (previously a
+/// bare `expect` panic deep in a campaign).
+pub fn measure_latency(
+    operator: Operator,
+    probes: usize,
+    seed: u64,
+) -> Result<LatencyResult, LatencyError> {
+    if probes == 0 {
+        return Err(LatencyError::NoProbes { operator: operator.acronym().to_string() });
+    }
     let profile = operator.profile();
     let pattern = profile
         .tdd_pattern()
@@ -44,14 +77,21 @@ pub fn measure_latency(operator: Operator, probes: usize, seed: u64) -> LatencyR
     let lossy_cfg = LatencyProbeConfig { p_block_error: 0.15, ..cfg };
     let retx = run_probes(&pattern, &lossy_cfg, probes, None, &seeds.child("bler1"));
     let totals = |s: &[LatencySample]| -> Vec<f64> { s.iter().map(|x| x.total_ms()).collect() };
-    LatencyResult {
+    // Infallible from here: `probes > 0` was checked above and
+    // `run_probes` returns one finite sample per probe, so the
+    // five-number summaries always have input.
+    let summarise = |s: &[LatencySample]| {
+        BoxplotStats::from_samples(&totals(s))
+            .expect("probes > 0 checked above and every sample is finite")
+    };
+    Ok(LatencyResult {
         operator: operator.acronym().to_string(),
         pattern: pattern.pattern_string(),
         bler_zero_ms: mean_total_ms(&clean),
         bler_positive_ms: mean_total_ms(&retx),
-        bler_zero_stats: BoxplotStats::from_samples(&totals(&clean)).expect("probes > 0"),
-        bler_positive_stats: BoxplotStats::from_samples(&totals(&retx)).expect("probes > 0"),
-    }
+        bler_zero_stats: summarise(&clean),
+        bler_positive_stats: summarise(&retx),
+    })
 }
 
 #[cfg(test)]
@@ -62,10 +102,10 @@ mod tests {
     fn fig11_orderings() {
         // Fig. 11: V_Ge (DDDSU) best, V_It (DDDDDDDSUU, UL-free S) worst;
         // BLER > 0 always costs more.
-        let vge = measure_latency(Operator::VodafoneGermany, 4000, 1);
-        let vit = measure_latency(Operator::VodafoneItaly, 4000, 1);
-        let tge = measure_latency(Operator::TelekomGermany, 4000, 1);
-        let ofr = measure_latency(Operator::OrangeFrance, 4000, 1);
+        let vge = measure_latency(Operator::VodafoneGermany, 4000, 1).unwrap();
+        let vit = measure_latency(Operator::VodafoneItaly, 4000, 1).unwrap();
+        let tge = measure_latency(Operator::TelekomGermany, 4000, 1).unwrap();
+        let ofr = measure_latency(Operator::OrangeFrance, 4000, 1).unwrap();
         assert!(vit.bler_zero_ms > vge.bler_zero_ms, "{} vs {}", vit.bler_zero_ms, vge.bler_zero_ms);
         assert!(vit.bler_zero_ms > ofr.bler_zero_ms * 0.9);
         assert!(ofr.bler_zero_ms > tge.bler_zero_ms);
@@ -86,10 +126,17 @@ mod tests {
     fn channel_bandwidth_has_no_bearing() {
         // §4.3: latency is pattern-driven. V_Ge (80 MHz) and T_Ge (90 MHz)
         // differ in latency only through their special-slot splits.
-        let vge = measure_latency(Operator::VodafoneGermany, 3000, 2);
-        let tge = measure_latency(Operator::TelekomGermany, 3000, 2);
+        let vge = measure_latency(Operator::VodafoneGermany, 3000, 2).unwrap();
+        let tge = measure_latency(Operator::TelekomGermany, 3000, 2).unwrap();
         assert_eq!(vge.pattern, "DDDSU");
         assert_eq!(tge.pattern, "DDDSU");
         assert!((vge.bler_zero_ms - tge.bler_zero_ms).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_probes_is_a_typed_error() {
+        let err = measure_latency(Operator::VodafoneGermany, 0, 1).unwrap_err();
+        assert_eq!(err, LatencyError::NoProbes { operator: "V_Ge".to_string() });
+        assert!(err.to_string().contains("zero probes"));
     }
 }

@@ -15,12 +15,18 @@
 pub mod campaign;
 pub mod dataset;
 pub mod executor;
+pub mod fault;
 pub mod iperf;
 pub mod latency;
 pub mod session;
 
-pub use campaign::{Campaign, CampaignTotals};
-pub use dataset::{trace_to_csv, Dataset, DatasetManifest};
-pub use executor::{Executor, ExecutorError, THREADS_ENV};
+pub use campaign::{
+    Campaign, CampaignOutcome, CampaignTotals, SessionCoverage, SessionFailure, StreamingOutcome,
+    DEFAULT_RETRY_BUDGET,
+};
+pub use dataset::{trace_to_csv, Dataset, DatasetManifest, LoadError, SessionRecord};
+pub use executor::{Executor, ExecutorError, ItemFailure, ResilientOutcome, THREADS_ENV};
+pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use iperf::{nr_only, run_iperf};
+pub use latency::{measure_latency, LatencyError, LatencyResult};
 pub use session::{MobilityKind, SessionResult, SessionSpec};

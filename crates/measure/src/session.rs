@@ -73,6 +73,22 @@ impl SessionSpec {
     pub fn seeds(&self) -> SeedTree {
         SeedTree::new(self.seed).child(self.operator.profile().city)
     }
+
+    /// A stable content hash of the spec — FNV-1a over its canonical JSON
+    /// encoding, so it is identical across runs, platforms and Rust
+    /// versions (unlike `DefaultHasher`). `Campaign::run_checkpointed`
+    /// stores it per checkpoint entry: a resumed campaign only trusts an
+    /// on-disk session whose recorded seed *and* spec hash match the spec
+    /// it is about to skip.
+    pub fn stable_hash(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("spec serialisation is infallible");
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in json.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
 }
 
 /// A completed session.

@@ -39,10 +39,18 @@ pub enum Invariant {
     ResampleLength = 5,
     /// The parallel executor lost or duplicated an indexed delivery.
     ExecutorDelivery = 6,
+    /// A worker panicked and the panic was caught by the resilient
+    /// executor. Under deliberate fault injection this counter is
+    /// *expected* to be nonzero; gating jobs allow it explicitly.
+    WorkerPanic = 7,
+    /// A work item exhausted its retry budget and was abandoned. Like
+    /// [`Invariant::WorkerPanic`], deliberately-injected chaos runs
+    /// allow this counter while gating every other invariant at zero.
+    ExecutorAbandoned = 8,
 }
 
 /// Every invariant, in counter order.
-pub const INVARIANTS: [Invariant; 7] = [
+pub const INVARIANTS: [Invariant; 9] = [
     Invariant::DeliveredWithinTbs,
     Invariant::RbWithinCarrier,
     Invariant::CqiRange,
@@ -50,6 +58,8 @@ pub const INVARIANTS: [Invariant; 7] = [
     Invariant::TimeMonotone,
     Invariant::ResampleLength,
     Invariant::ExecutorDelivery,
+    Invariant::WorkerPanic,
+    Invariant::ExecutorAbandoned,
 ];
 
 impl Invariant {
@@ -63,11 +73,23 @@ impl Invariant {
             Invariant::TimeMonotone => "time_monotone",
             Invariant::ResampleLength => "resample_length",
             Invariant::ExecutorDelivery => "executor_delivery",
+            Invariant::WorkerPanic => "worker_panic",
+            Invariant::ExecutorAbandoned => "executor_abandoned",
         }
+    }
+
+    /// Whether this invariant is expected to fire under deliberate fault
+    /// injection (`measure::fault`). Chaos gating jobs allow these
+    /// counters to be nonzero while holding every other invariant at
+    /// zero.
+    pub fn chaos_expected(self) -> bool {
+        matches!(self, Invariant::WorkerPanic | Invariant::ExecutorAbandoned)
     }
 }
 
 static VIOLATIONS: [AtomicU64; INVARIANTS.len()] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -1,0 +1,262 @@
+//! The deterministic chaos contract (DESIGN.md §5.5).
+//!
+//! Fault injection must not cost determinism: a campaign run under a
+//! nonzero [`FaultConfig`] — collector gaps, session aborts, corrupted
+//! records, worker panics — still produces a byte-identical
+//! [`CampaignOutcome`] for every thread count, a quiet config reproduces
+//! the healthy campaign exactly, and a checkpointed campaign that is
+//! killed and resumed matches an uninterrupted one byte for byte.
+
+use midband5g::measure::campaign::{Campaign, CampaignOutcome};
+use midband5g::measure::executor::Executor;
+use midband5g::measure::fault::{FaultConfig, FaultPlan};
+use midband5g::measure::session::SessionSpec;
+use midband5g::measure::{Dataset, DEFAULT_RETRY_BUDGET};
+use midband5g::operators::Operator;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Operators spanning three countries and both routing architectures —
+/// the same panel as `tests/determinism.rs`.
+const OPERATORS: [Operator; 3] =
+    [Operator::VodafoneItaly, Operator::TelekomGermany, Operator::VerizonUs];
+
+/// Aggressive-but-plausible rates: around half the sessions lose a span,
+/// a third abort early, 2% of records decode as garbage, a third of
+/// sessions panic at least once.
+const CHAOS: FaultConfig =
+    FaultConfig { gap_rate: 0.5, abort_rate: 0.3, corrupt_rate: 0.02, panic_rate: 0.3 };
+
+fn small_campaign(operator: Operator) -> Campaign {
+    Campaign { operator, sessions: 5, session_duration_s: 1.0, base_seed: 2024 }
+}
+
+fn encode(outcome: &CampaignOutcome) -> String {
+    serde_json::to_string(outcome).expect("campaign outcomes serialise")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("midband5g-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn chaotic_campaign_is_byte_identical_across_thread_counts() {
+    let mut any_fault_fired = false;
+    for operator in OPERATORS {
+        let campaign = small_campaign(operator);
+        let reference =
+            campaign.run_resilient(Executor::sequential(), &CHAOS, DEFAULT_RETRY_BUDGET);
+        // The accounting always partitions the campaign.
+        assert_eq!(
+            reference.results.len() + reference.failures.len(),
+            campaign.sessions as usize,
+            "{operator}: results + failures must cover every session"
+        );
+        assert_eq!(reference.results.len(), reference.coverage.len());
+        if reference.min_coverage() < 1.0 || !reference.is_complete() {
+            any_fault_fired = true;
+        }
+        let reference = encode(&reference);
+        for threads in [2, 8] {
+            let parallel =
+                campaign.run_resilient(Executor::new(threads), &CHAOS, DEFAULT_RETRY_BUDGET);
+            assert_eq!(
+                reference,
+                encode(&parallel),
+                "{operator}: run_resilient({threads}) diverged from sequential"
+            );
+        }
+    }
+    // Guard against the chaos config silently going quiet: across three
+    // operators at these rates, something must have been injected.
+    assert!(any_fault_fired, "CHAOS config injected nothing across the whole panel");
+}
+
+#[test]
+fn quiet_faults_reproduce_the_healthy_campaign_exactly() {
+    for operator in OPERATORS {
+        let campaign = small_campaign(operator);
+        let healthy = campaign.run();
+        for threads in [1, 4] {
+            let outcome = campaign.run_resilient(
+                Executor::new(threads),
+                &FaultConfig::default(),
+                DEFAULT_RETRY_BUDGET,
+            );
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.survival_rate(), 1.0);
+            assert_eq!(outcome.min_coverage(), 1.0);
+            assert_eq!(outcome.results, healthy, "{operator}: quiet faults changed the traces");
+        }
+    }
+}
+
+#[test]
+fn streaming_resilient_is_byte_identical_across_thread_counts() {
+    let bin_s = 0.25;
+    for operator in OPERATORS {
+        let campaign = small_campaign(operator);
+        let describe = |threads: usize| {
+            let out = campaign.run_streaming_resilient(
+                Executor::new(threads),
+                bin_s,
+                &CHAOS,
+                DEFAULT_RETRY_BUDGET,
+            );
+            let agg = serde_json::to_string(&out.aggregates).expect("aggregates serialise");
+            let failures = serde_json::to_string(&out.failures).expect("failures serialise");
+            let coverage = serde_json::to_string(&out.coverage).expect("coverage serialises");
+            format!("{agg}|{failures}|{coverage}")
+        };
+        let reference = describe(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                reference,
+                describe(threads),
+                "{operator}: run_streaming_resilient({threads}) diverged"
+            );
+        }
+    }
+}
+
+/// A gapped or aborted campaign shows its losses in the streaming
+/// coverage accounting instead of silently reading as complete.
+#[test]
+fn streaming_coverage_reflects_injected_gaps() {
+    let campaign = small_campaign(Operator::TelekomGermany);
+    let gaps = FaultConfig { gap_rate: 1.0, ..FaultConfig::default() };
+    let out = campaign.run_streaming_resilient(
+        Executor::new(2),
+        0.25,
+        &gaps,
+        DEFAULT_RETRY_BUDGET,
+    );
+    assert!(out.failures.is_empty(), "gaps alone never abandon a session");
+    assert!(
+        out.coverage.iter().any(|c| c.fraction() < 1.0),
+        "gap_rate=1 must cost some session coverage"
+    );
+    assert!(
+        out.aggregates.min_bin_coverage() < 1.0,
+        "the merged aggregates must expose under-populated bins"
+    );
+}
+
+#[test]
+fn checkpoint_resume_is_byte_identical_to_uninterrupted() {
+    let operator = Operator::VodafoneItaly;
+    let full = Campaign { operator, sessions: 6, session_duration_s: 1.0, base_seed: 77 };
+    let executor = Executor::new(2);
+
+    // Uninterrupted reference.
+    let clean_dir = tmpdir("clean");
+    let uninterrupted = full
+        .run_checkpointed(&clean_dir, executor, &CHAOS, DEFAULT_RETRY_BUDGET)
+        .expect("uninterrupted checkpointed run");
+
+    // Simulated kill after 3 sessions: campaign specs are prefix-stable
+    // (spec `i` depends only on operator/duration/base seed/`i`), so a
+    // half-size campaign checkpointed into the same directory leaves
+    // exactly the state a killed full campaign would have.
+    let resume_dir = tmpdir("resume");
+    let half = Campaign { sessions: 3, ..full };
+    half.run_checkpointed(&resume_dir, executor, &CHAOS, DEFAULT_RETRY_BUDGET)
+        .expect("interrupted prefix run");
+    let resumed = full
+        .run_checkpointed(&resume_dir, executor, &CHAOS, DEFAULT_RETRY_BUDGET)
+        .expect("resumed run");
+    assert_eq!(
+        encode(&uninterrupted),
+        encode(&resumed),
+        "resumed campaign diverged from the uninterrupted one"
+    );
+
+    // A second resume over the finished directory is all cache hits and
+    // still byte-identical.
+    let replayed = full
+        .run_checkpointed(&resume_dir, executor, &CHAOS, DEFAULT_RETRY_BUDGET)
+        .expect("replayed run");
+    assert_eq!(encode(&uninterrupted), encode(&replayed));
+
+    // The finished checkpoint directory doubles as a loadable dataset
+    // over the survivors.
+    let ds = Dataset::at(&resume_dir);
+    let loaded = ds.load_all().expect("checkpoint dir is a loadable dataset");
+    assert_eq!(loaded.len(), uninterrupted.results.len());
+    for (record, result) in loaded.iter().zip(&uninterrupted.results) {
+        assert_eq!(record.spec, result.spec);
+        // Compare serialised: corrupted records carry NaN fields, and
+        // NaN != NaN under PartialEq even for identical traces.
+        assert_eq!(
+            serde_json::to_string(&record.trace).expect("traces serialise"),
+            serde_json::to_string(&result.trace).expect("traces serialise")
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&resume_dir);
+}
+
+#[test]
+fn checkpoint_rejects_entries_from_a_different_campaign() {
+    // A checkpoint directory seeded by a different base seed must not be
+    // trusted: every entry fails the seed/spec-hash check and the whole
+    // campaign reruns.
+    let operator = Operator::TelekomGermany;
+    let executor = Executor::new(2);
+    let dir = tmpdir("reject");
+    let other = Campaign { operator, sessions: 4, session_duration_s: 1.0, base_seed: 1 };
+    other
+        .run_checkpointed(&dir, executor, &FaultConfig::default(), DEFAULT_RETRY_BUDGET)
+        .expect("other campaign");
+    let campaign = Campaign { operator, sessions: 4, session_duration_s: 1.0, base_seed: 999 };
+    let outcome = campaign
+        .run_checkpointed(&dir, executor, &FaultConfig::default(), DEFAULT_RETRY_BUDGET)
+        .expect("rerun over stale checkpoint");
+    let reference = campaign.run();
+    assert_eq!(outcome.results, reference, "stale checkpoint entries leaked into the outcome");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    /// A fault plan is a pure function of `(seed, duration, config)`:
+    /// re-deriving it gives the identical schedule, and specs differing
+    /// only in operator or mobility share it.
+    #[test]
+    fn fault_plans_are_pure_functions_of_seed_and_config(
+        seed in 0u64..u64::MAX,
+        duration_s in 0.1f64..30.0,
+    ) {
+        let spec = |operator: Operator, spot: usize| SessionSpec::stationary(
+            operator, spot, duration_s, seed,
+        );
+        let a = FaultPlan::for_spec(&spec(Operator::VodafoneItaly, 0), &CHAOS);
+        let b = FaultPlan::for_spec(&spec(Operator::VodafoneItaly, 0), &CHAOS);
+        prop_assert_eq!(&a, &b, "replay diverged");
+        let c = FaultPlan::for_spec(&spec(Operator::VerizonUs, 3), &CHAOS);
+        prop_assert_eq!(&a, &c, "operator/spot leaked into the fault schedule");
+    }
+
+    /// Planned fault times stay inside the session and panic persistence
+    /// stays within its documented 1..=3 attempts.
+    #[test]
+    fn fault_plans_stay_within_session_bounds(
+        seed in 0u64..u64::MAX,
+        duration_s in 0.1f64..30.0,
+    ) {
+        let everything = FaultConfig {
+            gap_rate: 1.0, abort_rate: 1.0, corrupt_rate: 0.1, panic_rate: 1.0,
+        };
+        let spec = SessionSpec::stationary(Operator::TelekomGermany, 0, duration_s, seed);
+        let plan = FaultPlan::for_spec(&spec, &everything);
+        let (start, end) = plan.gap_s.expect("gap_rate=1 always plans a gap");
+        prop_assert!(start >= 0.0 && start <= end && end <= duration_s);
+        let abort_s = plan.abort_s.expect("abort_rate=1 always plans an abort");
+        prop_assert!(abort_s >= 0.0 && abort_s <= duration_s);
+        let p = plan.panic.expect("panic_rate=1 always plans a panic");
+        prop_assert!(p.at_s >= 0.0 && p.at_s < duration_s);
+        prop_assert!((1..=3).contains(&p.attempts));
+    }
+}

@@ -79,7 +79,7 @@ fn nsa_split_end_to_end() {
 /// The latency experiment consumes operator profiles directly.
 #[test]
 fn latency_pipeline() {
-    let r = midband5g::measure::latency::measure_latency(Operator::VodafoneGermany, 2000, 4);
+    let r = midband5g::measure::latency::measure_latency(Operator::VodafoneGermany, 2000, 4).unwrap();
     assert_eq!(r.pattern, "DDDSU");
     assert!(r.bler_zero_ms > 0.5 && r.bler_zero_ms < 5.0);
     assert!(r.bler_positive_ms > r.bler_zero_ms);

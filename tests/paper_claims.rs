@@ -41,8 +41,8 @@ fn uplink_starves_on_tdd() {
 #[test]
 fn latency_follows_frame_structure() {
     use midband5g::measure::latency::measure_latency;
-    let vge = measure_latency(Operator::VodafoneGermany, 4000, 9); // 80 MHz, DDDSU
-    let vit = measure_latency(Operator::VodafoneItaly, 4000, 9); // 80 MHz, DDDDDDDSUU
+    let vge = measure_latency(Operator::VodafoneGermany, 4000, 9).unwrap(); // 80 MHz, DDDSU
+    let vit = measure_latency(Operator::VodafoneItaly, 4000, 9).unwrap(); // 80 MHz, DDDDDDDSUU
     // Same bandwidth, very different latency.
     assert!(vit.bler_zero_ms > vge.bler_zero_ms * 1.3, "{} vs {}", vit.bler_zero_ms, vge.bler_zero_ms);
 }
