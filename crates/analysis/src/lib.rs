@@ -27,6 +27,6 @@ pub mod variability;
 
 pub use correlation::{autocorrelation, coherence_lag, cross_correlation, peak_lag, LagCorrelation};
 pub use online::OnlineAggregates;
-pub use stats::{cdf_points, mean, pearson, percentile, std_dev, BoxplotStats};
+pub use stats::{cdf_points, jain_fairness, mean, pearson, percentile, std_dev, BoxplotStats};
 pub use timeseries::{bin_average, bin_counts, bin_coverage, bin_sum, Resampled};
 pub use variability::{variability, variability_profile, VariabilityPoint};

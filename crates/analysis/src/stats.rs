@@ -57,6 +57,22 @@ pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// Jain's fairness index, `(Σx)² / (n·Σx²)` — the standard measure of how
+/// evenly a cell's capacity is shared (1 = perfectly even, 1/n = one user
+/// takes everything). Defined for non-negative allocations (per-UE
+/// throughputs); returns 0 for empty or all-zero input.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (xs.len() as f64 * sum_sq)
+}
+
 /// Pearson correlation coefficient; `None` when either side is degenerate.
 pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
     if xs.len() != ys.len() || xs.len() < 2 {
@@ -199,6 +215,22 @@ mod tests {
         assert_eq!(percentile(&xs, 0.0), Some(f64::NEG_INFINITY));
         assert_eq!(percentile(&xs, 100.0), Some(f64::INFINITY));
         assert_eq!(percentile(&xs, 50.0), Some(1.0));
+    }
+
+    #[test]
+    fn jain_index_brackets_evenness() {
+        assert_eq!(jain_fairness(&[5.0, 5.0, 5.0, 5.0]), 1.0);
+        // One user takes everything: index collapses to 1/n.
+        let skewed = [100.0, 0.0, 0.0, 0.0];
+        assert!((jain_fairness(&skewed) - 0.25).abs() < 1e-12);
+        // Two equal of four active: (2x)²/(4·2x²) = 1/2.
+        assert!((jain_fairness(&[3.0, 3.0, 0.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), 0.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 0.0);
+        // Scale invariance.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 7.5).collect();
+        assert!((jain_fairness(&xs) - jain_fairness(&scaled)).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Loaded-cell audit gate: run a 1000-UE cell with every invariant check
+//! on and fail on any violation.
+//!
+//! CI's smoke job for the cell engine: a proportional-fair cell with
+//! 1000 contending UEs steps a couple of seconds of slots under
+//! `MIDBAND5G_AUDIT=1`, streaming its KPIs through an O(N) reduction
+//! sink (no trace is materialised). The run must finish with **zero**
+//! audit violations — RB budget conservation, per-carrier RB bounds,
+//! HARQ attempt bounds, delivered ≤ TBS, CQI range — and with every UE
+//! served, or the binary exits non-zero.
+//!
+//! ```text
+//! MIDBAND5G_AUDIT=1 cargo run --release -p midband5g-bench --bin cell_smoke
+//! MIDBAND5G_AUDIT=1 cargo run --release -p midband5g-bench --bin cell_smoke -- --quick
+//! ```
+
+use midband5g::measure::loadsweep::SPOT_DISTANCES_M;
+use midband5g::obs;
+use midband5g::ran::cell::{CellParams, CellSim, CellSink, UeSpec};
+use midband5g::ran::kpi::{Direction, SlotKpi};
+use midband5g::ran::scheduler::SchedulerPolicy;
+use midband5g::radio_channel::rng::SeedTree;
+
+/// O(1)-per-record reduction: per-UE delivered bits and service counts.
+struct SmokeStats {
+    dl_bits: Vec<u64>,
+    dl_scheduled: Vec<u64>,
+    records: u64,
+}
+
+impl CellSink for SmokeStats {
+    fn push(&mut self, ue: u32, kpi: &SlotKpi) {
+        self.records += 1;
+        if kpi.direction == Direction::Dl {
+            self.dl_bits[ue as usize] += u64::from(kpi.delivered_bits);
+            if kpi.scheduled {
+                self.dl_scheduled[ue as usize] += 1;
+            }
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let (n_ues, slots) = if quick { (1000usize, 2_000u64) } else { (1000, 6_000) };
+
+    obs::audit::set_enabled(true);
+    obs::reset();
+
+    let ues: Vec<UeSpec> = (0..n_ues)
+        .map(|i| UeSpec::at(SPOT_DISTANCES_M[i % SPOT_DISTANCES_M.len()], 0.0))
+        .collect();
+    let mut sim = CellSim::new(
+        CellParams::midband(90, SchedulerPolicy::ProportionalFair),
+        &ues,
+        &SeedTree::new(2024),
+    );
+    let mut stats =
+        SmokeStats { dl_bits: vec![0; n_ues], dl_scheduled: vec![0; n_ues], records: 0 };
+    let start = std::time::Instant::now();
+    sim.run_into(slots, &mut stats);
+    let wall = start.elapsed().as_secs_f64();
+
+    let duration_s = slots as f64 * 0.5e-3;
+    let per_ue_mbps: Vec<f64> =
+        stats.dl_bits.iter().map(|&b| b as f64 / duration_s / 1e6).collect();
+    let cell_mbps: f64 = per_ue_mbps.iter().sum();
+    let served = stats.dl_scheduled.iter().filter(|&&n| n > 0).count();
+    let jain = midband5g::analysis::jain_fairness(&per_ue_mbps);
+    println!(
+        "cell smoke: {n_ues} UEs x {slots} slots in {:.2} s ({:.0} UE-steps/s)",
+        wall,
+        n_ues as f64 * slots as f64 / wall
+    );
+    println!(
+        "  cell {cell_mbps:.0} Mbps | served {served}/{n_ues} UEs | Jain {jain:.3} | {} records",
+        stats.records
+    );
+
+    let snap = obs::snapshot();
+    for (name, count) in &snap.audit.violations {
+        if *count > 0 {
+            eprintln!("  VIOLATION {name}: {count}");
+        }
+    }
+    let mut failed = snap.audit.total_violations > 0;
+    if served < n_ues {
+        eprintln!("FAIL: only {served}/{n_ues} UEs ever scheduled");
+        failed = true;
+    }
+    if cell_mbps <= 0.0 {
+        eprintln!("FAIL: cell delivered nothing");
+        failed = true;
+    }
+    if failed {
+        eprintln!("FAIL: {} invariant violations", snap.audit.total_violations);
+        std::process::exit(1);
+    }
+    println!("OK: zero invariant violations");
+}

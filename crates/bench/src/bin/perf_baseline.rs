@@ -16,6 +16,11 @@
 //! `--streaming` additionally runs the bounded-memory campaign path
 //! (`Campaign::run_streaming`) and records its peak retained records and
 //! per-record byte footprint.
+//!
+//! `--cell-load` additionally measures the loaded-cell engine
+//! (`ran::cell::CellSim`) at 1 / 100 / 1000 / 10 000 contending UEs and
+//! records UE-slot steps per second — the scaling figure behind the
+//! EXPERIMENTS.md load sweep.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -76,6 +81,19 @@ struct StreamingFigure {
     wall_ms: f64,
 }
 
+/// Throughput of the loaded-cell engine at one UE count (`--cell-load`).
+#[derive(Debug, Serialize)]
+struct CellLoadFigure {
+    /// Contending UEs in the cell.
+    ues: usize,
+    /// Slots measured (after warm-up).
+    slots: u64,
+    /// UE-slot steps per wall-clock second (`ues × slots / wall`).
+    ue_steps_per_sec: f64,
+    /// Wall-clock milliseconds for the measured window.
+    wall_ms: f64,
+}
+
 /// The file written to `BENCH_slotloop.json`.
 #[derive(Debug, Serialize)]
 struct Baseline {
@@ -89,6 +107,44 @@ struct Baseline {
     sessions: Vec<SessionFigure>,
     /// Streaming-campaign memory profile; absent without `--streaming`.
     streaming: Option<StreamingFigure>,
+    /// Loaded-cell engine scaling; absent without `--cell-load`.
+    cell_load: Option<Vec<CellLoadFigure>>,
+}
+
+/// Measure `CellSim` stepping `n_ues` UEs through a discarding sink.
+fn measure_cell_load(n_ues: usize, slots: u64) -> CellLoadFigure {
+    use midband5g::measure::loadsweep::SPOT_DISTANCES_M;
+    use midband5g::ran::cell::{CellParams, CellSim, CellSink, UeSpec};
+    use midband5g::ran::scheduler::SchedulerPolicy;
+
+    /// Keeps just enough to stop the optimiser discarding the run.
+    struct Checksum(u64);
+    impl CellSink for Checksum {
+        fn push(&mut self, _ue: u32, kpi: &midband5g::ran::kpi::SlotKpi) {
+            self.0 = self.0.wrapping_add(u64::from(kpi.delivered_bits));
+        }
+    }
+
+    let ues: Vec<UeSpec> = (0..n_ues)
+        .map(|i| UeSpec::at(SPOT_DISTANCES_M[i % SPOT_DISTANCES_M.len()], 0.0))
+        .collect();
+    let mut sim = CellSim::new(
+        CellParams::midband(90, SchedulerPolicy::ProportionalFair),
+        &ues,
+        &SeedTree::new(7),
+    );
+    let mut sink = Checksum(0);
+    sim.run_into(slots / 4, &mut sink);
+    let start = Instant::now();
+    sim.run_into(slots, &mut sink);
+    let wall = start.elapsed().as_secs_f64();
+    black_box(sink.0);
+    CellLoadFigure {
+        ues: n_ues,
+        slots,
+        ue_steps_per_sec: n_ues as f64 * slots as f64 / wall,
+        wall_ms: wall * 1e3,
+    }
 }
 
 /// Measure two step functions in alternating rounds. Returns the best
@@ -141,6 +197,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let quick = argv.iter().any(|a| a == "--quick");
     let streaming = argv.iter().any(|a| a == "--streaming");
+    let cell_load = argv.iter().any(|a| a == "--cell-load");
     let out = argv
         .iter()
         .position(|a| a == "--out")
@@ -245,21 +302,35 @@ fn main() {
         }
     });
 
+    let cell_load_fig = cell_load.then(|| {
+        let ue_counts: &[usize] = if quick { &[1, 100, 1000] } else { &[1, 100, 1000, 10_000] };
+        ue_counts
+            .iter()
+            .map(|&n| {
+                // Keep the measured UE-steps comparable across points.
+                let slots = (400_000 / n as u64).clamp(200, 40_000);
+                measure_cell_load(n, slots)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let mut flags = String::new();
+    for (on, flag) in [(quick, " --quick"), (streaming, " --streaming"), (cell_load, " --cell-load")]
+    {
+        if on {
+            flags.push_str(flag);
+        }
+    }
     let baseline = Baseline {
         generated_by: format!(
-            "cargo run --release -p midband5g-bench --bin perf_baseline{}{}",
-            if quick || streaming { " --" } else { "" },
-            match (quick, streaming) {
-                (true, true) => " --quick --streaming",
-                (true, false) => " --quick",
-                (false, true) => " --streaming",
-                (false, false) => "",
-            }
+            "cargo run --release -p midband5g-bench --bin perf_baseline{}{flags}",
+            if flags.is_empty() { "" } else { " --" },
         ),
         slots_per_variant: slots,
         scenarios,
         sessions,
         streaming: streaming_fig,
+        cell_load: cell_load_fig,
     };
 
     println!("slot-loop baseline ({slots} slots per variant)");
@@ -284,6 +355,14 @@ fn main() {
             f.aos_bytes_per_record,
             f.wall_ms
         );
+    }
+    if let Some(points) = &baseline.cell_load {
+        for p in points {
+            println!(
+                "  cell-load {:>6} UEs: {:>12.0} UE-steps/s over {} slots ({:.0} ms)",
+                p.ues, p.ue_steps_per_sec, p.slots, p.wall_ms
+            );
+        }
     }
 
     match serde_json::to_string_pretty(&baseline) {

@@ -1,15 +1,17 @@
 //! Figure 14: variability between users in the same cell — two locations
 //! (45 m / 117 m from the gNB), measured sequentially and simultaneously.
+//!
+//! Driven by the loaded-cell engine ([`ran::cell::CellSim`]); the legacy
+//! `ran::multiuser` driver remains only as the equivalence reference in
+//! `ran/tests/cell_props.rs`.
 
 use analysis::variability::variability;
 use operators::Operator;
-use radio_channel::channel::ChannelSimulator;
-use radio_channel::geometry::{DeploymentLayout, Position};
-use radio_channel::mobility::MobilityModel;
+use radio_channel::geometry::DeploymentLayout;
 use radio_channel::rng::SeedTree;
-use ran::carrier::Carrier;
+use ran::cell::{CellParams, CellSim, UeSpec};
+use ran::carrier::TrafficPattern;
 use ran::kpi::{Direction, KpiTrace};
-use ran::multiuser::{MultiUeParticipant, MultiUeSim};
 use ran::scheduler::SchedulerPolicy;
 use serde::{Deserialize, Serialize};
 
@@ -37,27 +39,18 @@ pub struct MultiUserExperiment {
     pub simultaneous: Vec<LocationOutcome>,
 }
 
-fn participant(
-    op: Operator,
-    distance_m: f64,
-    index: u64,
-    active: bool,
-    seeds: &SeedTree,
-) -> MultiUeParticipant {
+/// Cell parameters of the operator's primary carrier on a single site —
+/// the same assembly the legacy per-participant path performed.
+fn cell_params(op: Operator) -> CellParams {
     let profile = op.profile();
-    let cfg = profile.carriers[0].cell.clone();
-    let pos = Position::new(distance_m, 0.0);
-    let ue_seeds = seeds.child_indexed("ue", index);
-    let channel = ChannelSimulator::new(
-        profile.channel_config(&profile.carriers[0]),
-        DeploymentLayout::single_site(),
-        MobilityModel::Stationary { position: pos },
-        &ue_seeds,
-    );
-    MultiUeParticipant {
-        carrier: Carrier::new(cfg, 0, channel, profile.link_model(&profile.carriers[0]), &ue_seeds),
-        position: pos,
-        active,
+    let carrier = &profile.carriers[0];
+    CellParams {
+        cell: carrier.cell.clone(),
+        channel: profile.channel_config(carrier),
+        layout: DeploymentLayout::single_site(),
+        link: profile.link_model(carrier),
+        policy: SchedulerPolicy::EqualShare,
+        traffic: TrafficPattern::DL,
     }
 }
 
@@ -84,31 +77,23 @@ fn outcome(trace: &KpiTrace, distance_m: f64) -> LocationOutcome {
 pub fn figure14(op: Operator, slots: u64, seed: u64) -> MultiUserExperiment {
     let distances = [45.0, 117.0];
     let seeds = SeedTree::new(seed).child("fig14");
+    let ues: Vec<UeSpec> = distances.iter().map(|&d| UeSpec::at(d, 0.0)).collect();
 
+    // Sequential: both UEs exist (seed derivation unchanged) but only one
+    // is active — it gets the whole carrier.
     let sequential = distances
         .iter()
         .enumerate()
         .map(|(i, &d)| {
-            let mut sim = MultiUeSim::new(
-                vec![
-                    participant(op, distances[0], 0, i == 0, &seeds),
-                    participant(op, distances[1], 1, i == 1, &seeds),
-                ],
-                SchedulerPolicy::EqualShare,
-            );
+            let mut sim = CellSim::new(cell_params(op), &ues, &seeds);
+            sim.set_active(1 - i, false);
             let traces = sim.run(slots);
             outcome(&traces[i], d)
         })
         .collect();
 
     let simultaneous = {
-        let mut sim = MultiUeSim::new(
-            vec![
-                participant(op, distances[0], 0, true, &seeds),
-                participant(op, distances[1], 1, true, &seeds),
-            ],
-            SchedulerPolicy::EqualShare,
-        );
+        let mut sim = CellSim::new(cell_params(op), &ues, &seeds);
         let traces = sim.run(slots);
         distances.iter().enumerate().map(|(i, &d)| outcome(&traces[i], d)).collect()
     };

@@ -8,7 +8,8 @@
 //! [`iperf`] provides the saturating DL/UL transfer tests; [`latency`]
 //! the §4.3 user-plane latency probes; [`campaign`] batches sessions the
 //! way the study did (multiple spots, repeated time slots) and produces
-//! the Table 1 bookkeeping.
+//! the Table 1 bookkeeping; [`loadsweep`] sweeps one loaded cell from 1
+//! to 10k+ contending UEs for the throughput/fairness-vs-load curves.
 //!
 //! Every result is bit-reproducible from `(operator, session spec, seed)`.
 
@@ -18,6 +19,7 @@ pub mod executor;
 pub mod fault;
 pub mod iperf;
 pub mod latency;
+pub mod loadsweep;
 pub mod session;
 
 pub use campaign::{
@@ -29,4 +31,5 @@ pub use executor::{Executor, ExecutorError, ItemFailure, ResilientOutcome, THREA
 pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use iperf::{nr_only, run_iperf};
 pub use latency::{measure_latency, LatencyError, LatencyResult};
+pub use loadsweep::{CellLoadPoint, CellLoadSweep, SPOT_DISTANCES_M};
 pub use session::{MobilityKind, SessionResult, SessionSpec};

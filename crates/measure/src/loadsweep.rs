@@ -1,0 +1,221 @@
+//! Cell-load sweeps: throughput and fairness versus the number of
+//! contending UEs (the §5.2 / Fig. 14 mechanism pushed from 2 users to
+//! 10k+).
+//!
+//! The paper demonstrates the *two*-user case empirically — simultaneous
+//! iPerf runs roughly halve per-UE throughput because the scheduler
+//! splits the cell's RBs. [`CellLoadSweep`] generalises that experiment:
+//! one [`ran::cell::CellSim`] per load point, N full-buffer UEs cycling
+//! through a fixed ring of distances, KPIs reduced *during* the run by an
+//! O(1)-per-record sink so memory stays bounded at any N. Each point
+//! derives its seeds from `base_seed → ("load", index)`, so a sweep is a
+//! pure function of its spec — byte-identical across
+//! [`Executor`] thread counts (`tests/determinism.rs`).
+//!
+//! Outputs per point: aggregate cell DL throughput, per-UE mean / min /
+//! max, and Jain's fairness index over per-UE throughputs — the
+//! throughput-vs-load and fairness-vs-load curves of EXPERIMENTS.md.
+
+use crate::executor::Executor;
+use radio_channel::rng::SeedTree;
+use ran::cell::{CellParams, CellSim, CellSink, UeSpec};
+use ran::kpi::{Direction, SlotKpi};
+use ran::scheduler::SchedulerPolicy;
+use serde::{Deserialize, Serialize};
+
+/// The ring of UE distances (metres) a load point cycles through — the
+/// same serviceable spots the cell engine's own tests use, spanning
+/// near-cell to cell-edge conditions.
+pub const SPOT_DISTANCES_M: [f64; 8] = [45.0, 70.0, 95.0, 117.0, 60.0, 85.0, 110.0, 135.0];
+
+/// Specification of a cell-load sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellLoadSweep {
+    /// UE counts to sweep (one simulated cell per entry).
+    pub ue_counts: Vec<usize>,
+    /// Slots per load point (0.5 ms each at the mid-band numerology).
+    pub slots: u64,
+    /// Scheduling policy under test.
+    pub policy: SchedulerPolicy,
+    /// Carrier bandwidth in MHz (60 → 162 RBs, 90 → 245 RBs).
+    pub bandwidth_mhz: u32,
+    /// Root seed; point `i` uses the `("load", i)` subtree.
+    pub base_seed: u64,
+}
+
+impl CellLoadSweep {
+    /// The EXPERIMENTS.md configuration: proportional fair on a 90 MHz
+    /// carrier, 1 → 10 240 UEs doubling per point, 4 000 slots (2 s).
+    pub fn paper_default(base_seed: u64) -> CellLoadSweep {
+        CellLoadSweep {
+            ue_counts: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 10_240],
+            slots: 4_000,
+            policy: SchedulerPolicy::ProportionalFair,
+            bandwidth_mhz: 90,
+            base_seed,
+        }
+    }
+
+    /// Run every load point, parallelised over points. Results are in
+    /// `ue_counts` order and independent of the thread count: each point
+    /// is a self-seeded, self-contained simulation.
+    pub fn run(&self, executor: &Executor) -> Vec<CellLoadPoint> {
+        let indexed: Vec<(usize, usize)> = self.ue_counts.iter().copied().enumerate().collect();
+        executor.map(&indexed, |&(index, n_ues)| self.run_point(index, n_ues))
+    }
+
+    /// Run the single load point `index` with `n_ues` UEs.
+    pub fn run_point(&self, index: usize, n_ues: usize) -> CellLoadPoint {
+        let params = CellParams::midband(self.bandwidth_mhz, self.policy);
+        let duration_s = self.slots as f64 * params.cell.slot_s();
+        let ues: Vec<UeSpec> = (0..n_ues)
+            .map(|i| UeSpec::at(SPOT_DISTANCES_M[i % SPOT_DISTANCES_M.len()], 0.0))
+            .collect();
+        let seeds = SeedTree::new(self.base_seed).child_indexed("load", index as u64);
+        let mut sim = CellSim::new(params, &ues, &seeds);
+        let mut stats = CellLoadStats::new(n_ues);
+        sim.run_into(self.slots, &mut stats);
+        stats.into_point(n_ues, duration_s)
+    }
+}
+
+/// Streaming per-UE reduction: O(1) work per KPI record, O(N) memory —
+/// no trace is ever materialised, which is what keeps a 10k-UE point
+/// inside a fixed footprint.
+struct CellLoadStats {
+    dl_bits: Vec<u64>,
+    dl_scheduled: Vec<u64>,
+    dl_prb: u64,
+    dl_records: u64,
+}
+
+impl CellLoadStats {
+    fn new(n_ues: usize) -> CellLoadStats {
+        CellLoadStats {
+            dl_bits: vec![0; n_ues],
+            dl_scheduled: vec![0; n_ues],
+            dl_prb: 0,
+            dl_records: 0,
+        }
+    }
+
+    fn into_point(self, n_ues: usize, duration_s: f64) -> CellLoadPoint {
+        let per_ue_mbps: Vec<f64> =
+            self.dl_bits.iter().map(|&b| b as f64 / duration_s / 1e6).collect();
+        let cell = per_ue_mbps.iter().sum::<f64>();
+        let min = per_ue_mbps.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_ue_mbps.iter().copied().fold(0.0f64, f64::max);
+        CellLoadPoint {
+            ues: n_ues,
+            cell_dl_mbps: cell,
+            mean_ue_dl_mbps: cell / n_ues as f64,
+            min_ue_dl_mbps: if min.is_finite() { min } else { 0.0 },
+            max_ue_dl_mbps: max,
+            jain_fairness: analysis::jain_fairness(&per_ue_mbps),
+            served_ues: self.dl_scheduled.iter().filter(|&&n| n > 0).count(),
+            mean_prb_per_dl_slot: self.dl_prb as f64 / self.dl_records.max(1) as f64,
+        }
+    }
+}
+
+impl CellSink for CellLoadStats {
+    fn push(&mut self, ue: u32, kpi: &SlotKpi) {
+        if kpi.direction == Direction::Dl {
+            let ue = ue as usize;
+            self.dl_bits[ue] += u64::from(kpi.delivered_bits);
+            if kpi.scheduled {
+                self.dl_scheduled[ue] += 1;
+                self.dl_prb += u64::from(kpi.n_prb);
+            }
+            self.dl_records += 1;
+        }
+    }
+}
+
+/// One point of the throughput/fairness-vs-load curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLoadPoint {
+    /// Number of contending UEs.
+    pub ues: usize,
+    /// Aggregate DL goodput of the cell, Mbps.
+    pub cell_dl_mbps: f64,
+    /// Mean per-UE DL goodput, Mbps.
+    pub mean_ue_dl_mbps: f64,
+    /// Worst single UE, Mbps.
+    pub min_ue_dl_mbps: f64,
+    /// Best single UE, Mbps.
+    pub max_ue_dl_mbps: f64,
+    /// Jain's fairness index over per-UE goodputs (1 = perfectly even).
+    pub jain_fairness: f64,
+    /// UEs scheduled at least once during the run.
+    pub served_ues: usize,
+    /// Mean PRBs granted per scheduled-or-not DL record — tracks how
+    /// thin the per-UE slices get as load grows.
+    pub mean_prb_per_dl_slot: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(ue_counts: Vec<usize>, policy: SchedulerPolicy) -> CellLoadSweep {
+        CellLoadSweep { ue_counts, slots: 3_000, policy, bandwidth_mhz: 60, base_seed: 19 }
+    }
+
+    /// The Fig. 14 finding at sweep level: going 1 → 2 UEs roughly halves
+    /// per-UE throughput, and the cell aggregate stays in the same band
+    /// (the cell was already saturated by one full-buffer UE).
+    #[test]
+    fn two_ues_halve_per_ue_throughput() {
+        let points =
+            sweep(vec![1, 2], SchedulerPolicy::EqualShare).run(&Executor::sequential());
+        let solo = points[0].mean_ue_dl_mbps;
+        let shared = points[1].mean_ue_dl_mbps;
+        assert!(shared < solo * 0.65, "shared {shared} vs solo {solo}");
+        assert!(shared > solo * 0.30, "shared {shared} vs solo {solo}");
+        assert!(points[1].cell_dl_mbps > solo * 0.6, "aggregate collapsed");
+    }
+
+    #[test]
+    fn mean_per_ue_throughput_decreases_with_load() {
+        let points = sweep(vec![1, 4, 16, 64], SchedulerPolicy::ProportionalFair)
+            .run(&Executor::sequential());
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].mean_ue_dl_mbps < pair[0].mean_ue_dl_mbps,
+                "per-UE rate must fall with load: {:?} -> {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // All points serve everyone (every spot in the ring is covered).
+        for p in &points {
+            assert_eq!(p.served_ues, p.ues, "{} UEs, {} served", p.ues, p.served_ues);
+        }
+    }
+
+    #[test]
+    fn proportional_fair_beats_max_cqi_on_jain_index() {
+        let n = vec![8];
+        let pf = sweep(n.clone(), SchedulerPolicy::ProportionalFair)
+            .run(&Executor::sequential());
+        let greedy = sweep(n, SchedulerPolicy::MaxCqi).run(&Executor::sequential());
+        assert!(
+            pf[0].jain_fairness > greedy[0].jain_fairness + 0.2,
+            "PF {} vs max-CQI {}",
+            pf[0].jain_fairness,
+            greedy[0].jain_fairness
+        );
+        assert!(pf[0].jain_fairness > 0.5, "PF Jain {}", pf[0].jain_fairness);
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let spec = sweep(vec![1, 2, 5, 9], SchedulerPolicy::ProportionalFair);
+        let sequential = spec.run(&Executor::sequential());
+        let parallel = spec.run(&Executor::new(4));
+        let a = serde_json::to_string(&sequential).unwrap();
+        let b = serde_json::to_string(&parallel).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -47,10 +47,13 @@ pub enum Invariant {
     /// [`Invariant::WorkerPanic`], deliberately-injected chaos runs
     /// allow this counter while gating every other invariant at zero.
     ExecutorAbandoned = 8,
+    /// The per-UE PRB grants of one cell slot summed to more than the
+    /// cell's RB budget (the loaded-cell scheduler's conservation law).
+    RbBudgetConserved = 9,
 }
 
 /// Every invariant, in counter order.
-pub const INVARIANTS: [Invariant; 9] = [
+pub const INVARIANTS: [Invariant; 10] = [
     Invariant::DeliveredWithinTbs,
     Invariant::RbWithinCarrier,
     Invariant::CqiRange,
@@ -60,6 +63,7 @@ pub const INVARIANTS: [Invariant; 9] = [
     Invariant::ExecutorDelivery,
     Invariant::WorkerPanic,
     Invariant::ExecutorAbandoned,
+    Invariant::RbBudgetConserved,
 ];
 
 impl Invariant {
@@ -75,6 +79,7 @@ impl Invariant {
             Invariant::ExecutorDelivery => "executor_delivery",
             Invariant::WorkerPanic => "worker_panic",
             Invariant::ExecutorAbandoned => "executor_abandoned",
+            Invariant::RbBudgetConserved => "rb_budget_conserved",
         }
     }
 
@@ -88,6 +93,7 @@ impl Invariant {
 }
 
 static VIOLATIONS: [AtomicU64; INVARIANTS.len()] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

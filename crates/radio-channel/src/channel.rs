@@ -203,6 +203,27 @@ impl ChannelSimulator {
         self.large_scale.clear();
     }
 
+    /// Adopt another simulator's cached large-scale terms, so co-located
+    /// UEs of a loaded cell pay the per-site path-loss/sector computation
+    /// once instead of once per UE. Copies only when the configurations
+    /// and layouts are equal **and** `other` has a populated cache;
+    /// returns whether the copy happened. Safe by construction: the
+    /// cached terms are pure functions of `(position, config, layout)` —
+    /// never of RNG state — and [`ChannelSimulator::step_at`] recomputes
+    /// on any position mismatch, so priming can never change a result,
+    /// only skip redundant arithmetic.
+    pub fn prime_cache_from(&mut self, other: &ChannelSimulator) -> bool {
+        if other.cache_position.is_none()
+            || self.config != other.config
+            || self.layout != other.layout
+        {
+            return false;
+        }
+        self.cache_position = other.cache_position;
+        self.large_scale.clone_from(&other.large_scale);
+        true
+    }
+
     /// The static configuration.
     pub fn config(&self) -> &ChannelConfig {
         &self.config
@@ -592,6 +613,42 @@ mod tests {
         for _ in 0..2000 {
             assert_eq!(cached.step_at(pos, 0.0), reference.step_at_uncached(pos, 0.0));
         }
+    }
+
+    #[test]
+    fn primed_cache_is_bit_identical_and_skips_recompute() {
+        // Two UEs at the same spot with different seeds: after UE 0 steps
+        // once, UE 1 adopts its large-scale cache. Every subsequent state
+        // must equal an unprimed replica's, bit for bit — priming only
+        // skips arithmetic that would have produced the same floats.
+        let pos = Position::new(85.0, -10.0);
+        let layout = DeploymentLayout::three_site_dense;
+        let mk = |seed: u64| {
+            ChannelSimulator::new(
+                ChannelConfig::midband_urban(245),
+                layout(),
+                MobilityModel::Stationary { position: pos },
+                &SeedTree::new(seed),
+            )
+        };
+        let mut leader = mk(31);
+        leader.step_at(pos, 0.0);
+        let mut primed = mk(32);
+        let mut replica = mk(32);
+        assert!(primed.prime_cache_from(&leader), "same config+layout must prime");
+        for _ in 0..500 {
+            assert_eq!(primed.step_at(pos, 0.0), replica.step_at(pos, 0.0));
+        }
+        // Mismatched layouts refuse to prime; an unstepped leader has no
+        // cache to offer.
+        let mut other_layout = ChannelSimulator::new(
+            ChannelConfig::midband_urban(245),
+            DeploymentLayout::single_site(),
+            MobilityModel::Stationary { position: pos },
+            &SeedTree::new(33),
+        );
+        assert!(!other_layout.prime_cache_from(&leader));
+        assert!(!mk(34).prime_cache_from(&mk(35)));
     }
 
     #[test]

@@ -527,8 +527,13 @@ mod tests {
         // should hold BLER in the vicinity of its 10% target. (At very
         // good spots the highest MCS index still decodes with BLER ≈ 0 —
         // the outer loop clamps at the table edge; in outage the gNB does
-        // not schedule at all.)
-        let t = run_dl(90, 280.0, 4, 40_000);
+        // not schedule at all.) The quasi-static shadowing makes each
+        // (seed, distance) pair one realisation with ±several-dB swings,
+        // so the probe point must sit mid-range *for this seed*: seed 4
+        // at 100 m averages ~8 dB SINR / CQI 5 — squarely in OLLA's
+        // operating regime (at this seed's 280 m the UE is in outage,
+        // where stale-CSI slots dominate the BLER).
+        let t = run_dl(90, 100.0, 4, 40_000);
         let bler = t.dl_bler();
         assert!(bler > 0.01 && bler < 0.3, "bler {bler}");
     }
@@ -544,7 +549,12 @@ mod tests {
 
     #[test]
     fn qam64_cap_costs_throughput_in_good_conditions() {
-        let (mut capped, pos) = carrier(90, 60.0, 6);
+        // The cap only binds where the uncapped link actually reaches the
+        // 256QAM rows. Seed 6's shadowing draw at 60 m leaves only ~10 dB
+        // SINR (64QAM territory either way); at 30 m the same seed holds
+        // ~20 dB / MCS 18 on the 256QAM table, so capping to 64QAM costs
+        // real throughput.
+        let (mut capped, pos) = carrier(90, 30.0, 6);
         capped.cfg.mcs_policy = nr_phy::cqi::CqiToMcsPolicy {
             cqi_table: nr_phy::cqi::CqiTable::Table2,
             mcs_table: nr_phy::mcs::McsTable::Qam64,
@@ -555,7 +565,7 @@ mod tests {
             trace.push(capped.step(pos, 0.0, TrafficPattern::DL, true, 1.0, 1.0).dl);
         }
         let capped_mbps = trace.mean_throughput_mbps(Direction::Dl);
-        let free_mbps = run_dl(90, 60.0, 6, 15_000).mean_throughput_mbps(Direction::Dl);
+        let free_mbps = run_dl(90, 30.0, 6, 15_000).mean_throughput_mbps(Direction::Dl);
         assert!(
             capped_mbps < free_mbps,
             "64QAM cap {capped_mbps} should trail 256QAM {free_mbps}"

@@ -1,0 +1,823 @@
+//! The loaded-cell engine: one cell, N contending UEs, one slot loop.
+//!
+//! [`crate::multiuser::MultiUeSim`] reproduced the paper's §5.2 / Fig. 14
+//! two-UE experiments by cloning a full [`Carrier`](crate::carrier::Carrier) per UE and steering
+//! fractional shares through it. That shape cannot scale: every clone
+//! carries its own allocation table and TBS memo, shares are floats that
+//! can over-allocate under rounding, and the per-slot loop materialises a
+//! `KpiTrace` per UE. [`CellSim`] rebuilds cell-level simulation as a
+//! first-class engine:
+//!
+//! * **Structure-of-arrays state.** Per-UE columns (CQI, OLLA/AMC, HARQ,
+//!   PF average rate, EWMA SINR, channel, traffic, BLER RNG) live in
+//!   parallel vectors, so each phase of the slot loop sweeps contiguous
+//!   memory across the whole user set — the same batching the columnar
+//!   [`crate::kpi::KpiTrace`] applies across slots.
+//! * **Integer-PRB scheduling.** The cell holds one RB budget per
+//!   direction and hands out integer grants
+//!   ([`crate::scheduler::split_prbs`]); the grants of one slot can never
+//!   sum past the budget, which audit mode checks as
+//!   [`Invariant::RbBudgetConserved`].
+//! * **Streaming output.** Records leave through a [`CellSink`] as they
+//!   are produced; a 10k-UE campaign folds them into O(UEs) accumulators
+//!   instead of holding ~10k traces.
+//!
+//! # Slot contract
+//!
+//! Each [`CellSim::step_into`] runs three phases, all in UE index order:
+//!
+//! 1. **Schedule** on the CSI the gNB holds from previous slots (real
+//!    schedulers act on the last report, not on channel truth of the slot
+//!    being scheduled): pick the slot's grants per
+//!    [`SchedulerPolicy`] over the eligible set (active UEs with queued
+//!    traffic as of the previous slot).
+//! 2. **Channel + UE side**: advance each UE's channel, traffic arrivals,
+//!    SINR filtering and (periodic) CSI reporting.
+//! 3. **Transmit**: run the granted UEs' DL/UL leg exactly as the
+//!    single-UE [`Carrier`](crate::carrier::Carrier) would — same AMC, HARQ, TBS and BLER-draw
+//!    arithmetic, same RNG stream per UE — then update PF average rates
+//!    and push one DL record (plus one UL record on UL-capable slots) per
+//!    UE into the sink.
+//!
+//! With one UE, every phase degenerates to the [`Carrier`](crate::carrier::Carrier) path and the
+//! emitted records are byte-identical to it (`ran/tests/cell_props.rs`).
+
+use crate::amc::{AmcState, OllaConfig};
+use crate::carrier::TrafficPattern;
+use crate::config::CellConfig;
+use crate::harq::{HarqConfig, HarqEntity};
+use crate::kpi::{Direction, KpiTrace, SlotKpi};
+use crate::scheduler::{self, SchedulerPolicy};
+use crate::traffic::{TrafficSource, TrafficState};
+use nr_phy::csi::DEFAULT_CSI_PERIOD_SLOTS;
+use nr_phy::tbs::TbsCache;
+use obs::audit::{self, Invariant};
+use obs::Counter;
+use radio_channel::channel::{ChannelConfig, ChannelSimulator, ChannelState};
+use radio_channel::geometry::{DeploymentLayout, Position};
+use radio_channel::link::LinkModel;
+use radio_channel::mobility::MobilityModel;
+use radio_channel::rng::SeedTree;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+/// Everything static about the cell a [`CellSim`] drives: the carrier
+/// configuration, the radio environment shared by every UE, and the
+/// scheduling/traffic regime.
+#[derive(Debug, Clone)]
+pub struct CellParams {
+    /// Carrier configuration (bandwidth, TDD pattern, MCS policy...).
+    pub cell: CellConfig,
+    /// Radio environment every UE's channel instantiates.
+    pub channel: ChannelConfig,
+    /// Site deployment shared by every UE.
+    pub layout: DeploymentLayout,
+    /// Link-level abstraction (BLER/CQI/rank curves).
+    pub link: LinkModel,
+    /// How the cell splits RBs among contending UEs.
+    pub policy: SchedulerPolicy,
+    /// Which directions carry saturating traffic.
+    pub traffic: TrafficPattern,
+}
+
+impl CellParams {
+    /// The calibrated mid-band baseline the figures use: `DDDSU` TDD,
+    /// urban-macro channel, single site, 256QAM link — only the bandwidth
+    /// and scheduling policy vary per experiment.
+    pub fn midband(bandwidth_mhz: u32, policy: SchedulerPolicy) -> Self {
+        let cell = CellConfig::midband(bandwidth_mhz, "DDDSU");
+        let channel = ChannelConfig::midband_urban(cell.n_rb);
+        CellParams {
+            cell,
+            channel,
+            layout: DeploymentLayout::single_site(),
+            link: LinkModel::midband_qam256(),
+            policy,
+            traffic: TrafficPattern::DL,
+        }
+    }
+}
+
+/// One UE of the cell: a fixed position and whether it contends for RBs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UeSpec {
+    /// The UE's (stationary) position.
+    pub position: Position,
+    /// Whether the UE has active traffic (load sweeps activate subsets).
+    pub active: bool,
+}
+
+impl UeSpec {
+    /// An active UE at `(x, y)`.
+    pub fn at(x: f64, y: f64) -> Self {
+        UeSpec { position: Position::new(x, y), active: true }
+    }
+}
+
+/// A streaming consumer of per-UE slot records — the cell-level analogue
+/// of [`crate::sink::SlotSink`], with the producing UE's index alongside
+/// each record so O(UEs) accumulators can bucket without a trace per UE.
+///
+/// The [`crate::sink::SlotSink`] contract carries over: records arrive in
+/// emission order (per slot, UEs in index order, DL before UL), and
+/// `finish` is called exactly once after the last record.
+pub trait CellSink {
+    /// Consume one record produced by UE `ue`.
+    fn push(&mut self, ue: u32, kpi: &SlotKpi);
+
+    /// Signal end of stream. Defaults to a no-op.
+    fn finish(&mut self) {}
+}
+
+/// The materialising sink: one full [`KpiTrace`] per UE. Fine for a
+/// handful of UEs (the Fig. 14 experiments); load sweeps use bounded
+/// accumulators instead.
+#[derive(Debug, Clone, Default)]
+pub struct CellTraces {
+    traces: Vec<KpiTrace>,
+}
+
+impl CellTraces {
+    /// Empty traces for `n_ues` UEs.
+    pub fn new(n_ues: usize) -> Self {
+        CellTraces { traces: (0..n_ues).map(|_| KpiTrace::new()).collect() }
+    }
+
+    /// The per-UE traces, indexed by UE.
+    pub fn traces(&self) -> &[KpiTrace] {
+        &self.traces
+    }
+
+    /// Take ownership of the per-UE traces.
+    pub fn into_traces(self) -> Vec<KpiTrace> {
+        self.traces
+    }
+}
+
+impl CellSink for CellTraces {
+    fn push(&mut self, ue: u32, kpi: &SlotKpi) {
+        self.traces[ue as usize].push(*kpi);
+    }
+}
+
+/// Cached metric handles (same registry names as the single-UE
+/// [`Carrier`](crate::carrier::Carrier), so obs totals aggregate across both engines). Per-slot
+/// deltas accumulate in locals and flush as one atomic add per counter
+/// per slot, keeping the hot path at four atomics regardless of N.
+#[derive(Debug, Clone, Copy)]
+struct CellMetrics {
+    slots: Counter,
+    retx: Counter,
+    block_errors: Counter,
+    delivered_bits: Counter,
+}
+
+impl CellMetrics {
+    fn new() -> Self {
+        let reg = obs::registry();
+        CellMetrics {
+            slots: reg.counter("ran.slots"),
+            retx: reg.counter("ran.retx"),
+            block_errors: reg.counter("ran.block_errors"),
+            delivered_bits: reg.counter("ran.delivered_bits"),
+        }
+    }
+}
+
+/// Per-slot metric deltas, flushed to the atomic counters once per slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct MetricDeltas {
+    retx: u64,
+    block_errors: u64,
+    delivered_bits: u64,
+}
+
+/// N UEs contending for one cell's RBs, stepped slot by slot.
+///
+/// State is laid out structure-of-arrays: column `i` of every vector
+/// belongs to UE `i`. Steady-state stepping is allocation-free at any N
+/// (`ran/tests/alloc_free.rs` pins N=1000): scratch columns are reused,
+/// the TBS memo is shared across the whole cell, and records stream out
+/// through the sink.
+pub struct CellSim {
+    params: CellParams,
+    csi_period: u64,
+    slot: u64,
+    rr_next: usize,
+    // --- per-UE columns ---
+    positions: Vec<Position>,
+    active: Vec<bool>,
+    channels: Vec<ChannelSimulator>,
+    amc: Vec<AmcState>,
+    dl_harq: Vec<HarqEntity>,
+    ul_harq: Vec<HarqEntity>,
+    dl_traffic: Vec<TrafficState>,
+    ul_traffic: Vec<TrafficState>,
+    bler_rng: Vec<ChaCha12Rng>,
+    ewma_sinr_db: Vec<f64>,
+    prev_rank: Vec<u8>,
+    /// CQI the gNB holds for each UE (last reported; what scheduling
+    /// decisions and slot records see).
+    gnb_cqi: Vec<u8>,
+    /// PF long-term average delivered DL bits per slot (EWMA).
+    avg_rate: Vec<f64>,
+    /// For each UE, the lowest index sharing its exact position — the UE
+    /// whose large-scale channel cache co-located UEs adopt on slot 0.
+    spot_leader: Vec<u32>,
+    // --- per-slot scratch, reused across slots ---
+    ch: Vec<ChannelState>,
+    dl_prbs: Vec<u16>,
+    ul_prbs: Vec<u16>,
+    eligible: Vec<u32>,
+    // --- shared across UEs ---
+    tbs_cache: TbsCache,
+    metrics: CellMetrics,
+}
+
+impl CellSim {
+    /// Assemble the cell. UE `i` draws every stream from
+    /// `seeds.child_indexed("ue", i)` with the same labels the single-UE
+    /// [`Carrier`](crate::carrier::Carrier) uses, so a one-UE cell replays a `Carrier` built from
+    /// the same subtree byte-for-byte.
+    pub fn new(params: CellParams, ues: &[UeSpec], seeds: &SeedTree) -> Self {
+        assert!(!ues.is_empty(), "need at least one UE");
+        let n = ues.len();
+        let mut positions = Vec::with_capacity(n);
+        let mut active = Vec::with_capacity(n);
+        let mut channels = Vec::with_capacity(n);
+        let mut amc = Vec::with_capacity(n);
+        let mut dl_harq = Vec::with_capacity(n);
+        let mut ul_harq = Vec::with_capacity(n);
+        let mut dl_traffic = Vec::with_capacity(n);
+        let mut ul_traffic = Vec::with_capacity(n);
+        let mut bler_rng = Vec::with_capacity(n);
+        let mut spot_leader: Vec<u32> = Vec::with_capacity(n);
+        for (i, ue) in ues.iter().enumerate() {
+            let ue_seeds = seeds.child_indexed("ue", i as u64);
+            positions.push(ue.position);
+            active.push(ue.active);
+            channels.push(ChannelSimulator::new(
+                params.channel,
+                params.layout.clone(),
+                MobilityModel::Stationary { position: ue.position },
+                &ue_seeds,
+            ));
+            amc.push(AmcState::new(OllaConfig::default()));
+            dl_harq.push(HarqEntity::new(HarqConfig::default()));
+            ul_harq.push(HarqEntity::new(HarqConfig::default()));
+            dl_traffic.push(TrafficState::new(TrafficSource::FullBuffer, &ue_seeds, "dl"));
+            ul_traffic.push(TrafficState::new(TrafficSource::FullBuffer, &ue_seeds, "ul"));
+            // Matches Carrier index 0's stream label exactly.
+            bler_rng.push(ue_seeds.stream_static("carrier0/bler"));
+            let leader = positions[..i]
+                .iter()
+                .position(|&p| p == ue.position)
+                .unwrap_or(i) as u32;
+            spot_leader.push(leader);
+        }
+        CellSim {
+            csi_period: DEFAULT_CSI_PERIOD_SLOTS,
+            slot: 0,
+            rr_next: 0,
+            positions,
+            active,
+            channels,
+            amc,
+            dl_harq,
+            ul_harq,
+            dl_traffic,
+            ul_traffic,
+            bler_rng,
+            ewma_sinr_db: vec![15.0; n],
+            prev_rank: vec![2; n],
+            // AmcState::new starts from a mid-range CQI 8 assumption.
+            gnb_cqi: vec![8; n],
+            avg_rate: vec![1.0; n],
+            spot_leader,
+            ch: Vec::with_capacity(n),
+            dl_prbs: vec![0; n],
+            ul_prbs: vec![0; n],
+            eligible: Vec::with_capacity(n),
+            tbs_cache: TbsCache::new(),
+            metrics: CellMetrics::new(),
+            params,
+        }
+    }
+
+    /// Number of UEs in the cell.
+    pub fn n_ues(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Slots stepped so far.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// (De)activate a UE between steps (sequential-vs-simultaneous
+    /// experiments toggle this).
+    pub fn set_active(&mut self, ue: usize, active: bool) {
+        self.active[ue] = active;
+    }
+
+    /// Override the CSI reporting period in slots.
+    pub fn set_csi_period(&mut self, slots: u64) {
+        self.csi_period = slots.max(1);
+    }
+
+    /// Replace UE `ue`'s DL traffic source (default: full buffer).
+    /// `seeds` should be the tree the cell was built with.
+    pub fn set_dl_traffic(&mut self, ue: usize, source: TrafficSource, seeds: &SeedTree) {
+        let ue_seeds = seeds.child_indexed("ue", ue as u64);
+        self.dl_traffic[ue] = TrafficState::new(source, &ue_seeds, "dl");
+    }
+
+    /// Run `slots` slots, streaming every record into `sink`, and call
+    /// its `finish` once at the end.
+    pub fn run_into<S: CellSink>(&mut self, slots: u64, sink: &mut S) {
+        for _ in 0..slots {
+            self.step_into(sink);
+        }
+        sink.finish();
+    }
+
+    /// Run `slots` slots and materialise one trace per UE (small-N
+    /// convenience; load sweeps stream into bounded sinks instead).
+    pub fn run(&mut self, slots: u64) -> Vec<KpiTrace> {
+        let mut traces = CellTraces::new(self.n_ues());
+        self.run_into(slots, &mut traces);
+        traces.into_traces()
+    }
+
+    /// Advance the whole cell one slot (see the module docs for the
+    /// three-phase contract).
+    pub fn step_into<S: CellSink>(&mut self, sink: &mut S) {
+        let slot = self.slot;
+        self.slot += 1;
+        let slot_s = self.params.cell.slot_s();
+        let time_s = slot as f64 * slot_s;
+        let n = self.n_ues();
+        let auditing = audit::enabled();
+
+        // Phase 1 — schedule on the CSI the gNB already holds.
+        self.schedule(slot, auditing);
+
+        // Phase 2 — channel evolution and UE-side reporting.
+        self.ch.clear();
+        for i in 0..n {
+            if slot == 0 {
+                // Co-located UEs adopt the first occupant's large-scale
+                // cache; later slots hit each UE's own cache.
+                let leader = self.spot_leader[i] as usize;
+                if leader < i {
+                    let (head, tail) = self.channels.split_at_mut(i);
+                    tail[0].prime_cache_from(&head[leader]);
+                }
+            }
+            let ch = self.channels[i].step_at(self.positions[i], 0.0);
+            self.dl_traffic[i].arrive(slot_s);
+            self.ul_traffic[i].arrive(slot_s);
+            self.ewma_sinr_db[i] = 0.9 * self.ewma_sinr_db[i] + 0.1 * ch.sinr_db;
+            if slot.is_multiple_of(self.csi_period) {
+                let csi =
+                    AmcState::make_csi(&self.params.link, self.ewma_sinr_db[i], self.prev_rank[i]);
+                self.prev_rank[i] = csi.ri;
+                self.amc[i].update_csi(csi);
+                self.gnb_cqi[i] = csi.cqi.value();
+            }
+            if auditing {
+                audit::check(Invariant::CqiRange, self.gnb_cqi[i] <= 15);
+            }
+            self.ch.push(ch);
+        }
+
+        // Phase 3 — transmit per grant, stream records, update PF state.
+        let ul_capable = self.params.cell.ul_symbols(slot) > 0;
+        let mut deltas = MetricDeltas::default();
+        for i in 0..n {
+            let cqi = self.gnb_cqi[i];
+            let ch = self.ch[i];
+            let dl = if self.params.traffic.dl
+                && self.dl_traffic[i].has_data()
+                && self.dl_prbs[i] > 0
+            {
+                dl_transmit(
+                    &self.params,
+                    &mut self.tbs_cache,
+                    &mut self.amc[i],
+                    &mut self.dl_harq[i],
+                    &mut self.dl_traffic[i],
+                    &mut self.bler_rng[i],
+                    &mut deltas,
+                    slot,
+                    time_s,
+                    cqi,
+                    &ch,
+                    self.dl_prbs[i],
+                    auditing,
+                )
+            } else {
+                idle(slot, time_s, Direction::Dl, cqi, &ch)
+            };
+            sink.push(i as u32, &dl);
+            if ul_capable {
+                let ul = if self.params.traffic.ul
+                    && self.ul_traffic[i].has_data()
+                    && self.ul_prbs[i] > 0
+                {
+                    ul_transmit(
+                        &self.params,
+                        &mut self.tbs_cache,
+                        &mut self.amc[i],
+                        &mut self.ul_harq[i],
+                        &mut self.ul_traffic[i],
+                        &mut self.bler_rng[i],
+                        &mut deltas,
+                        slot,
+                        time_s,
+                        cqi,
+                        &ch,
+                        self.ul_prbs[i],
+                        auditing,
+                    )
+                } else {
+                    idle(slot, time_s, Direction::Ul, cqi, &ch)
+                };
+                sink.push(i as u32, &ul);
+            }
+            // PF bookkeeping: the long-term average tracks delivered DL
+            // bits for every UE every slot (idle slots decay it), exactly
+            // as the legacy MultiUeSim did.
+            self.avg_rate[i] = 0.999 * self.avg_rate[i] + 0.001 * f64::from(dl.delivered_bits);
+        }
+        self.metrics.slots.add(n as u64);
+        self.metrics.retx.add(deltas.retx);
+        self.metrics.block_errors.add(deltas.block_errors);
+        self.metrics.delivered_bits.add(deltas.delivered_bits);
+    }
+
+    /// Fill `dl_prbs`/`ul_prbs` with this slot's integer grants.
+    fn schedule(&mut self, slot: u64, auditing: bool) {
+        let n = self.n_ues();
+        self.dl_prbs[..n].fill(0);
+        self.ul_prbs[..n].fill(0);
+        self.eligible.clear();
+        for i in 0..n {
+            if self.active[i]
+                && ((self.params.traffic.dl && self.dl_traffic[i].has_data())
+                    || (self.params.traffic.ul && self.ul_traffic[i].has_data()))
+            {
+                self.eligible.push(i as u32);
+            }
+        }
+        if self.eligible.is_empty() {
+            return;
+        }
+        let dl_budget = self.params.cell.n_rb;
+        let ul_budget = scheduler::ul_prb_budget(&self.params.cell);
+        match self.params.policy {
+            SchedulerPolicy::EqualShare => {
+                let k = self.eligible.len();
+                for (rank, &i) in self.eligible.iter().enumerate() {
+                    self.dl_prbs[i as usize] = scheduler::split_prbs(dl_budget, k, rank, slot);
+                    self.ul_prbs[i as usize] = scheduler::split_prbs(ul_budget, k, rank, slot);
+                }
+            }
+            SchedulerPolicy::RoundRobinSlots => {
+                let pick = self.eligible[self.rr_next % self.eligible.len()] as usize;
+                self.rr_next += 1;
+                self.dl_prbs[pick] = dl_budget;
+                self.ul_prbs[pick] = ul_budget;
+            }
+            SchedulerPolicy::MaxCqi => {
+                // First index wins ties: strict comparison.
+                let mut pick = self.eligible[0] as usize;
+                for &i in &self.eligible[1..] {
+                    if self.gnb_cqi[i as usize] > self.gnb_cqi[pick] {
+                        pick = i as usize;
+                    }
+                }
+                self.dl_prbs[pick] = dl_budget;
+                self.ul_prbs[pick] = ul_budget;
+            }
+            SchedulerPolicy::ProportionalFair => {
+                // Metric: CQI-implied instantaneous rate over average
+                // rate. Last index wins ties (`>=`), preserving the
+                // legacy `Iterator::max_by` selection exactly.
+                let metric = |i: usize| {
+                    f64::from(self.gnb_cqi[i]) / self.avg_rate[i].max(1e-9)
+                };
+                let mut pick = self.eligible[0] as usize;
+                let mut best = metric(pick);
+                for &i in &self.eligible[1..] {
+                    let m = metric(i as usize);
+                    if m >= best {
+                        best = m;
+                        pick = i as usize;
+                    }
+                }
+                self.dl_prbs[pick] = dl_budget;
+                self.ul_prbs[pick] = ul_budget;
+            }
+        }
+        if auditing {
+            let dl_sum: u64 = self.eligible.iter().map(|&i| u64::from(self.dl_prbs[i as usize])).sum();
+            let ul_sum: u64 = self.eligible.iter().map(|&i| u64::from(self.ul_prbs[i as usize])).sum();
+            audit::check(Invariant::RbBudgetConserved, dl_sum <= u64::from(dl_budget));
+            audit::check(Invariant::RbBudgetConserved, ul_sum <= u64::from(ul_budget));
+        }
+    }
+}
+
+fn idle(slot: u64, time_s: f64, direction: Direction, cqi: u8, ch: &ChannelState) -> SlotKpi {
+    SlotKpi::idle(
+        slot,
+        time_s,
+        0,
+        direction,
+        cqi,
+        ch.sinr_db,
+        ch.measurement.rsrp_dbm,
+        ch.measurement.rsrq_db,
+        ch.serving_site,
+    )
+}
+
+/// One UE's DL leg for one granted slot. Field-for-field and float-op-for
+/// float-op the same computation as `Carrier::dl_step`, with the PRB
+/// count already an integer (the carrier derives it from a share).
+#[allow(clippy::too_many_arguments)] // mirrors the per-UE column set
+fn dl_transmit(
+    params: &CellParams,
+    tbs_cache: &mut TbsCache,
+    amc: &mut AmcState,
+    harq: &mut HarqEntity,
+    traffic: &mut TrafficState,
+    rng: &mut ChaCha12Rng,
+    deltas: &mut MetricDeltas,
+    slot: u64,
+    time_s: f64,
+    cqi: u8,
+    ch: &ChannelState,
+    n_prb: u16,
+    auditing: bool,
+) -> SlotKpi {
+    let cfg = &params.cell;
+    let alloc = scheduler::dl_allocation_prbs(cfg, slot, n_prb);
+    let (Some(alloc), false) = (alloc, cqi == 0) else {
+        return idle(slot, time_s, Direction::Dl, cqi, ch);
+    };
+    let grant = amc.dl_grant(cfg);
+    let table = grant.format.effective_mcs_table(cfg.mcs_table());
+    let modulation = table.modulation(grant.mcs).unwrap_or(nr_phy::mcs::Modulation::Qpsk);
+
+    let (tbs_bits, attempts, is_retx) = match harq.pop_ready(slot) {
+        Some(tb) => (tb.tbs_bits, tb.attempts + 1, true),
+        None => {
+            let full = tbs_cache.transport_block_size(&alloc, table, grant.mcs, grant.layers);
+            (traffic.consume(full), 1, false)
+        }
+    };
+
+    let bonus = harq.combining_bonus_db(attempts);
+    let p_err = params.link.bler(ch.sinr_db + bonus, table, grant.mcs);
+    let failed = rng.gen::<f64>() < p_err;
+    if failed {
+        harq.record_failure(tbs_bits, attempts, slot);
+    }
+    amc.harq_feedback(!failed);
+
+    let delivered_bits = if failed { 0 } else { tbs_bits };
+    if failed {
+        deltas.block_errors += 1;
+    }
+    if is_retx {
+        deltas.retx += 1;
+    }
+    deltas.delivered_bits += u64::from(delivered_bits);
+    if auditing {
+        audit::check(Invariant::RbWithinCarrier, alloc.n_prb <= cfg.n_rb);
+        audit::check(Invariant::HarqAttemptsWithinMax, attempts <= harq.config().max_attempts);
+        audit::check(Invariant::DeliveredWithinTbs, delivered_bits <= tbs_bits);
+    }
+
+    SlotKpi {
+        slot,
+        time_s,
+        carrier: 0,
+        direction: Direction::Dl,
+        scheduled: true,
+        n_prb: alloc.n_prb,
+        n_re: alloc.total_re(),
+        mcs: grant.mcs.0,
+        modulation,
+        layers: grant.layers,
+        tbs_bits,
+        delivered_bits,
+        is_retx,
+        block_error: failed,
+        cqi,
+        sinr_db: ch.sinr_db,
+        rsrp_dbm: ch.measurement.rsrp_dbm,
+        rsrq_db: ch.measurement.rsrq_db,
+        serving_site: ch.serving_site,
+    }
+}
+
+/// One UE's UL leg for one granted slot (mirror of `Carrier::ul_step`).
+#[allow(clippy::too_many_arguments)] // mirrors the per-UE column set
+fn ul_transmit(
+    params: &CellParams,
+    tbs_cache: &mut TbsCache,
+    amc: &mut AmcState,
+    harq: &mut HarqEntity,
+    traffic: &mut TrafficState,
+    rng: &mut ChaCha12Rng,
+    deltas: &mut MetricDeltas,
+    slot: u64,
+    time_s: f64,
+    cqi: u8,
+    ch: &ChannelState,
+    n_prb: u16,
+    auditing: bool,
+) -> SlotKpi {
+    let cfg = &params.cell;
+    let alloc = scheduler::ul_allocation_prbs(cfg, slot, n_prb)
+        .expect("caller checked ul_symbols > 0 and n_prb > 0");
+    if cqi == 0 {
+        return idle(slot, time_s, Direction::Ul, cqi, ch);
+    }
+    let grant = amc.ul_grant(cfg);
+    let table = grant.format.effective_mcs_table(cfg.mcs_table());
+    let modulation = table.modulation(grant.mcs).unwrap_or(nr_phy::mcs::Modulation::Qpsk);
+
+    let (tbs_bits, attempts, is_retx) = match harq.pop_ready(slot) {
+        Some(tb) => (tb.tbs_bits, tb.attempts + 1, true),
+        None => {
+            let full = tbs_cache.transport_block_size(&alloc, table, grant.mcs, grant.layers);
+            (traffic.consume(full), 1, false)
+        }
+    };
+
+    // Same UE power-budget penalty as the single-UE carrier.
+    const UL_SINR_PENALTY_DB: f64 = 6.0;
+    let bonus = harq.combining_bonus_db(attempts);
+    let p_err = params.link.bler(ch.sinr_db - UL_SINR_PENALTY_DB + bonus, table, grant.mcs);
+    let failed = rng.gen::<f64>() < p_err;
+    if failed {
+        harq.record_failure(tbs_bits, attempts, slot);
+    }
+
+    let delivered_bits = if failed { 0 } else { tbs_bits };
+    if failed {
+        deltas.block_errors += 1;
+    }
+    if is_retx {
+        deltas.retx += 1;
+    }
+    deltas.delivered_bits += u64::from(delivered_bits);
+    if auditing {
+        audit::check(Invariant::RbWithinCarrier, alloc.n_prb <= cfg.n_rb);
+        audit::check(Invariant::HarqAttemptsWithinMax, attempts <= harq.config().max_attempts);
+        audit::check(Invariant::DeliveredWithinTbs, delivered_bits <= tbs_bits);
+    }
+
+    SlotKpi {
+        slot,
+        time_s,
+        carrier: 0,
+        direction: Direction::Ul,
+        scheduled: true,
+        n_prb: alloc.n_prb,
+        n_re: alloc.total_re(),
+        mcs: grant.mcs.0,
+        modulation,
+        layers: grant.layers,
+        tbs_bits,
+        delivered_bits,
+        is_retx,
+        block_error: failed,
+        cqi,
+        sinr_db: ch.sinr_db,
+        rsrp_dbm: ch.measurement.rsrp_dbm,
+        rsrq_db: ch.measurement.rsrq_db,
+        serving_site: ch.serving_site,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spots(n: usize) -> Vec<UeSpec> {
+        const D: [f64; 8] = [45.0, 70.0, 95.0, 117.0, 60.0, 85.0, 110.0, 135.0];
+        (0..n).map(|i| UeSpec::at(D[i % D.len()], 0.0)).collect()
+    }
+
+    #[test]
+    fn two_ues_roughly_halve_per_ue_throughput() {
+        // The Fig. 14 mechanism at engine level: the same UE alone vs
+        // sharing the cell with a second active UE.
+        let run = |ues: Vec<UeSpec>| {
+            let mut sim = CellSim::new(
+                CellParams::midband(60, SchedulerPolicy::EqualShare),
+                &ues,
+                &SeedTree::new(14),
+            );
+            let traces = sim.run(20_000);
+            traces[0].mean_throughput_mbps(Direction::Dl)
+        };
+        let mut alone = spots(2);
+        alone[1].active = false;
+        let solo = run(alone);
+        let shared = run(spots(2));
+        assert!(
+            shared < solo * 0.65 && shared > solo * 0.3,
+            "solo {solo} shared {shared}"
+        );
+    }
+
+    #[test]
+    fn max_cqi_starves_the_weak_ue() {
+        let ues = vec![UeSpec::at(45.0, 0.0), UeSpec::at(300.0, 0.0)];
+        let mut sim = CellSim::new(
+            CellParams::midband(60, SchedulerPolicy::MaxCqi),
+            &ues,
+            &SeedTree::new(15),
+        );
+        let traces = sim.run(10_000);
+        let strong = traces[0].mean_throughput_mbps(Direction::Dl);
+        let weak = traces[1].mean_throughput_mbps(Direction::Dl);
+        assert!(strong > 100.0, "strong {strong}");
+        // Max-CQI all but starves the cell-edge UE.
+        assert!(weak < strong * 0.05, "strong {strong} weak {weak}");
+    }
+
+    #[test]
+    fn inactive_ues_cost_nothing_but_produce_idle_records() {
+        let mut ues = spots(3);
+        ues[1].active = false;
+        let mut sim = CellSim::new(
+            CellParams::midband(60, SchedulerPolicy::EqualShare),
+            &ues,
+            &SeedTree::new(16),
+        );
+        let traces = sim.run(2_000);
+        assert_eq!(traces.len(), 3);
+        // The inactive UE logs slots but never a grant.
+        assert!(!traces[1].is_empty());
+        assert!(traces[1].iter().all(|r| !r.scheduled));
+        // Active UEs split the whole budget (162 RBs at 60 MHz) two ways.
+        let mean_rb = |t: &KpiTrace| {
+            let s: Vec<f64> = t
+                .direction(Direction::Dl)
+                .filter(|r| r.scheduled)
+                .map(|r| f64::from(r.n_prb))
+                .collect();
+            s.iter().sum::<f64>() / s.len() as f64
+        };
+        assert!((mean_rb(&traces[0]) - 81.0).abs() < 1.0);
+        assert!((mean_rb(&traces[2]) - 81.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn more_ues_than_rbs_still_conserves_and_serves() {
+        // 200 UEs on a 20 MHz FDD-like budget exercise the k > budget
+        // path: zero-PRB "grants" must not schedule, and over enough
+        // slots the rotation serves everyone.
+        let mut params = CellParams::midband(60, SchedulerPolicy::EqualShare);
+        params.cell.n_rb = 51; // shrink the budget below the UE count
+        let ues = spots(200);
+        let mut sim = CellSim::new(params, &ues, &SeedTree::new(17));
+        struct Served(Vec<u64>);
+        impl CellSink for Served {
+            fn push(&mut self, ue: u32, kpi: &SlotKpi) {
+                if kpi.scheduled && kpi.direction == Direction::Dl {
+                    self.0[ue as usize] += 1;
+                }
+            }
+        }
+        let mut served = Served(vec![0; 200]);
+        sim.run_into(2_000, &mut served);
+        let never = served.0.iter().filter(|&&n| n == 0).count();
+        assert_eq!(never, 0, "{never} UEs never scheduled under rotation");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = CellSim::new(
+                CellParams::midband(60, SchedulerPolicy::ProportionalFair),
+                &spots(5),
+                &SeedTree::new(18),
+            );
+            sim.run(3_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta, tb);
+        }
+    }
+}

@@ -23,8 +23,12 @@
 //! * [`lte`] + NSA uplink routing ([`config::UplinkRouting`]) — the
 //!   EN-DC behaviour behind the paper's §4.2 finding that operators often
 //!   push UL traffic to LTE;
-//! * [`multiuser`] — several UEs sharing one cell's RBs (the §5.2 /
-//!   Fig. 14 experiments);
+//! * [`cell`] — the loaded-cell engine: N UEs (1 → 10k+) contending for
+//!   one cell's RB budget under proportional-fair, round-robin, max-CQI
+//!   or equal-share scheduling, with structure-of-arrays state and
+//!   streaming per-UE sinks (the §5.2 / Fig. 14 mechanism at scale);
+//! * [`multiuser`] — the legacy small-N driver kept as the reference the
+//!   cell engine's equivalence tests pin against;
 //! * [`latency`] — the slot-aligned PHY user-plane latency probe model of
 //!   §4.3 (TDD alignment + processing + HARQ);
 //! * [`rrc`] — RRC state promotion costs the paper's methodology controls
@@ -32,6 +36,7 @@
 
 pub mod amc;
 pub mod carrier;
+pub mod cell;
 pub mod config;
 pub mod harq;
 pub mod kpi;
@@ -46,6 +51,7 @@ pub mod traffic;
 
 pub use amc::AmcState;
 pub use carrier::Carrier;
+pub use cell::{CellParams, CellSim, CellSink, CellTraces, UeSpec};
 pub use config::{CellConfig, UplinkRouting};
 pub use kpi::{KpiTrace, SlotKpi};
 pub use latency::{LatencyProbeConfig, LatencySample};

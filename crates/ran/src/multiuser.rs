@@ -1,11 +1,23 @@
-//! Several UEs sharing one cell — the paper's §5.2 / Fig. 14 experiments.
+//! Several UEs sharing one cell — the original §5.2 / Fig. 14 driver,
+//! kept as the **legacy reference** for the cell engine.
 //!
 //! The study placed UEs at different distances in the same cell and ran
 //! iPerf *sequentially* (one at a time) and *simultaneously*, finding that
 //! per-UE RB allocations (and hence throughput) roughly halve with two
 //! active users while the channel variability at each location is
-//! unaffected. [`MultiUeSim`] reproduces that by driving N per-UE carriers
-//! against one shared RB budget.
+//! unaffected. [`MultiUeSim`] reproduces that by driving N full
+//! [`Carrier`] clones against one shared RB budget with *fractional*
+//! shares — simple, but allocating per slot and unable to scale past a
+//! handful of UEs.
+//!
+//! New code should use [`crate::cell::CellSim`], which implements the
+//! same scheduling semantics over structure-of-arrays state with integer
+//! PRB grants and streams per-UE records through bounded sinks.
+//! `MultiUeSim` survives as the independent implementation the
+//! equivalence suite (`ran/tests/cell_props.rs`) pins the cell engine
+//! against: for N ≤ 4 the two must agree on every KPI (exactly for UE
+//! counts that divide the RB budget, within one PRB of rounding slack
+//! otherwise).
 
 use crate::carrier::{Carrier, TrafficPattern};
 use crate::kpi::KpiTrace;
@@ -73,6 +85,20 @@ impl MultiUeSim {
                 if !active.is_empty() {
                     let pick = active[self.rr_next % active.len()];
                     self.rr_next += 1;
+                    shares[pick] = 1.0;
+                }
+            }
+            SchedulerPolicy::MaxCqi => {
+                // Whole slot to the best reported CQI; first index wins
+                // ties (same tie-break as the cell engine).
+                let mut best: Option<usize> = None;
+                for &i in &active {
+                    let cqi = self.participants[i].carrier.current_cqi();
+                    if best.is_none_or(|b| cqi > self.participants[b].carrier.current_cqi()) {
+                        best = Some(i);
+                    }
+                }
+                if let Some(pick) = best {
                     shares[pick] = 1.0;
                 }
             }
@@ -202,8 +228,13 @@ mod tests {
 
     #[test]
     fn proportional_fair_serves_everyone() {
+        // Fig. 14's proven far spot: 117 m keeps the far UE servable (a
+        // few CQI) under seed 3's shadowing realisation. At this seed's
+        // 200 m the far UE sits ~-23 dB SINR — out of range, where *no*
+        // scheduler can serve it and the test would measure outage, not
+        // PF fairness.
         let mut sim = MultiUeSim::new(
-            vec![participant(40.0, 3, 0, true), participant(200.0, 3, 1, true)],
+            vec![participant(40.0, 3, 0, true), participant(117.0, 3, 1, true)],
             SchedulerPolicy::ProportionalFair,
         );
         let traces = sim.run(20_000);

@@ -31,19 +31,24 @@ pub enum SchedulerPolicy {
     EqualShare,
     /// Time-domain round-robin: one UE owns the whole slot, rotating.
     RoundRobinSlots,
+    /// Max-CQI: the whole slot goes to the UE with the best reported CQI
+    /// (first index wins ties). The throughput-maximising, fairness-free
+    /// comparison policy.
+    MaxCqi,
     /// Proportional fair: slot goes to the UE maximising instantaneous
     /// rate / long-term average rate.
     ProportionalFair,
 }
 
-/// DL allocation for a UE holding `share` (0..=1] of the carrier in this
-/// slot; `None` when the slot carries no DL symbols.
-pub fn dl_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAllocation> {
+/// DL allocation of exactly `n_prb` PRBs in this slot; `None` when the
+/// slot carries no DL symbols or the grant is empty. This is the cell
+/// scheduler's primitive: per-UE integer grants that sum to at most the
+/// RB budget ([`split_prbs`]).
+pub fn dl_allocation_prbs(cfg: &CellConfig, slot: u64, n_prb: u16) -> Option<RbAllocation> {
     let symbols = cfg.dl_symbols(slot);
-    if symbols == 0 {
+    if symbols == 0 || n_prb == 0 {
         return None;
     }
-    let n_prb = ((cfg.n_rb as f64 * share).round() as u16).clamp(1, cfg.n_rb);
     if audit::enabled() {
         audit::check(Invariant::RbWithinCarrier, n_prb <= cfg.n_rb);
     }
@@ -55,16 +60,13 @@ pub fn dl_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAlloca
     })
 }
 
-/// UL allocation for a UE holding `share` of the carrier's UL RBs this
-/// slot; `None` when the slot carries no UL symbols. The cell-level
-/// `ul_rb_fraction` (operators reserving UL RBs) is applied on top.
-pub fn ul_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAllocation> {
+/// UL allocation of exactly `n_prb` PRBs in this slot; `None` when the
+/// slot carries no UL symbols or the grant is empty.
+pub fn ul_allocation_prbs(cfg: &CellConfig, slot: u64, n_prb: u16) -> Option<RbAllocation> {
     let symbols = cfg.ul_symbols(slot);
-    if symbols == 0 {
+    if symbols == 0 || n_prb == 0 {
         return None;
     }
-    let frac = (cfg.ul_rb_fraction * share).clamp(0.0, 1.0);
-    let n_prb = ((cfg.n_rb as f64 * frac).round() as u16).clamp(1, cfg.n_rb);
     if audit::enabled() {
         audit::check(Invariant::RbWithinCarrier, n_prb <= cfg.n_rb);
     }
@@ -74,6 +76,45 @@ pub fn ul_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAlloca
         dmrs_re_per_prb: 12,
         overhead_re_per_prb: 0,
     })
+}
+
+/// The cell's UL PRB budget: the carrier scaled by `ul_rb_fraction`
+/// (operators reserving UL RBs), at least 1 PRB.
+pub fn ul_prb_budget(cfg: &CellConfig) -> u16 {
+    ((cfg.n_rb as f64 * cfg.ul_rb_fraction.clamp(0.0, 1.0)).round() as u16).clamp(1, cfg.n_rb)
+}
+
+/// The PRBs granted to the UE at `rank` (0-based) when `budget` PRBs are
+/// split equally across `k` UEs: everyone gets `budget / k`, and the
+/// `budget % k` leftover PRBs rotate through the ranks with `slot` so no
+/// fixed subset is systematically favoured. The grants of one slot sum to
+/// exactly `min(budget, …)` — never more — which is the RB-conservation
+/// law `ran/tests/cell_props.rs` pins down. With `k > budget`, only the
+/// `budget` ranks nearest the rotation point get a (1-PRB) grant.
+pub fn split_prbs(budget: u16, k: usize, rank: usize, slot: u64) -> u16 {
+    if k == 0 {
+        return 0;
+    }
+    let base = budget / k as u16;
+    let rem = (budget % k as u16) as usize;
+    let rotated = (rank + (slot as usize % k)) % k;
+    base + u16::from(rotated < rem)
+}
+
+/// DL allocation for a UE holding `share` (0..=1] of the carrier in this
+/// slot; `None` when the slot carries no DL symbols.
+pub fn dl_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAllocation> {
+    let n_prb = ((cfg.n_rb as f64 * share).round() as u16).clamp(1, cfg.n_rb);
+    dl_allocation_prbs(cfg, slot, n_prb)
+}
+
+/// UL allocation for a UE holding `share` of the carrier's UL RBs this
+/// slot; `None` when the slot carries no UL symbols. The cell-level
+/// `ul_rb_fraction` (operators reserving UL RBs) is applied on top.
+pub fn ul_allocation(cfg: &CellConfig, slot: u64, share: f64) -> Option<RbAllocation> {
+    let frac = (cfg.ul_rb_fraction * share).clamp(0.0, 1.0);
+    let n_prb = ((cfg.n_rb as f64 * frac).round() as u16).clamp(1, cfg.n_rb);
+    ul_allocation_prbs(cfg, slot, n_prb)
 }
 
 /// Precomputed per-TDD-cycle allocations for one (cell, share) pair.

@@ -119,6 +119,36 @@ fn streaming_campaign_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// Cell-load sweeps (N UEs contending in one cell) obey the same
+/// contract as campaigns: every point derives its seeds from the
+/// `("load", index)` subtree and shares no state with its neighbours, so
+/// the serialised sweep is byte-identical for every thread count.
+#[test]
+fn cell_load_sweep_is_byte_identical_across_thread_counts() {
+    use midband5g::measure::loadsweep::CellLoadSweep;
+    use midband5g::ran::scheduler::SchedulerPolicy;
+
+    for policy in [SchedulerPolicy::ProportionalFair, SchedulerPolicy::EqualShare] {
+        let sweep = CellLoadSweep {
+            ue_counts: vec![1, 3, 8, 24],
+            slots: 2_000,
+            policy,
+            bandwidth_mhz: 60,
+            base_seed: 2024,
+        };
+        let reference =
+            serde_json::to_string(&sweep.run(&Executor::sequential())).expect("points serialise");
+        for threads in [1, 2, 8] {
+            let parallel =
+                serde_json::to_string(&sweep.run(&Executor::new(threads))).expect("points serialise");
+            assert_eq!(
+                reference, parallel,
+                "{policy:?}: {threads}-thread load sweep diverged from sequential"
+            );
+        }
+    }
+}
+
 proptest! {
     /// Session seed streams never overlap: each session derives its RNG
     /// from `base_seed + i` through the labelled [`SeedTree`], and the
