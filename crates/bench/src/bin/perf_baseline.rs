@@ -21,6 +21,11 @@
 //! (`ran::cell::CellSim`) at 1 / 100 / 1000 / 10 000 contending UEs and
 //! records UE-slot steps per second — the scaling figure behind the
 //! EXPERIMENTS.md load sweep.
+//!
+//! Unless `--no-gate` is given, the run asserts the driving scenarios
+//! keep a ≥2× cached-over-uncached speedup (the SIMD batching + moving
+//! lookahead headline) and exits non-zero when one slips — wire it into
+//! CI with `--no-gate` if the runner is too noisy for a hard floor.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -198,6 +203,7 @@ fn main() {
     let quick = argv.iter().any(|a| a == "--quick");
     let streaming = argv.iter().any(|a| a == "--streaming");
     let cell_load = argv.iter().any(|a| a == "--cell-load");
+    let no_gate = argv.iter().any(|a| a == "--no-gate");
     let out = argv
         .iter()
         .position(|a| a == "--out")
@@ -375,6 +381,30 @@ fn main() {
         }
         Err(e) => {
             eprintln!("error: could not serialise baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The driving scenarios are where the cached path earns its keep: the
+    // whole large-scale cache rebuilds every slot, so any speedup there is
+    // pure batching + incremental-mobility win. Gate on the median-ratio
+    // figure (noise-robust by construction, see `measure_pair`) after the
+    // JSON is on disk so a failing run still leaves its evidence behind.
+    const DRIVING_SPEEDUP_FLOOR: f64 = 2.0;
+    if !no_gate {
+        let mut failed = false;
+        for s in &baseline.scenarios {
+            if s.name.starts_with("driving") && s.speedup < DRIVING_SPEEDUP_FLOOR {
+                eprintln!(
+                    "gate: {} speedup {:.2}x below the {DRIVING_SPEEDUP_FLOOR:.1}x floor \
+                     (cached {:.0} vs uncached {:.0} slots/s)",
+                    s.name, s.speedup, s.cached_slots_per_sec, s.uncached_slots_per_sec
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            eprintln!("gate: driving speedup regression — rerun on a quiet machine or pass --no-gate");
             std::process::exit(1);
         }
     }

@@ -10,7 +10,7 @@ use crate::blockage::{BlockageConfig, BlockageProcess};
 use crate::fading::{FadingConfig, FadingProcess};
 use crate::geometry::{DeploymentLayout, Position};
 use crate::mobility::{MobilityModel, MobilityState};
-use crate::pathloss::PathLossModel;
+use crate::pathloss::{PathLossModel, PathLossProfile};
 use crate::rng::SeedTree;
 use crate::shadowing::{ShadowingConfig, ShadowingProcess};
 use crate::signal::{NoiseTerms, RadioMeasurement, SignalConfig};
@@ -115,6 +115,139 @@ pub struct ChannelState {
     pub blocked: bool,
 }
 
+/// Slots one still-path lookahead batch covers. Equal to
+/// [`crate::shadowing::GAUSS_TILE`], so in steady state each batch
+/// consumes exactly one innovation tile per process (a run never crosses
+/// a refill boundary) and the per-batch bookkeeping amortises over 32
+/// slots of full SIMD lanes.
+const LA_SLOTS: usize = 32;
+/// Stride of the per-site state history: the pre-batch state plus one
+/// entry per lookahead slot.
+const LA_STRIDE: usize = LA_SLOTS + 1;
+
+/// Buffers of the slot lookahead (see [`ChannelSimulator::step_at`] and
+/// [`ChannelSimulator::step`]).
+///
+/// Per-slot channel math has no external inputs beyond the UE trajectory:
+/// shadowing and fading evolve from their own RNG streams, and every
+/// dB↔mW conversion is a pure function of those states. The lookahead
+/// therefore advances all processes [`LA_SLOTS`] slots at once (their
+/// innovations are already tile-prefetched, and each process owns its
+/// stream, so per-process draw order is untouched) and evaluates the
+/// whole batch's `pow10`/`log10` conversions in wide SIMD slices —
+/// bit-identical to the slot-by-slot path because `vmath` lanes equal
+/// its scalar calls for every input.
+///
+/// Two front-ends share the machinery: the *still* batch (stationary UE,
+/// warm large-scale cache, driven through `step_at`) and the *moving*
+/// batch (internal mobility, driven through `step`, which additionally
+/// batches the per-slot path-loss `log10` across slots × sites).
+///
+/// If the caller diverges mid-batch, the unread tail is *rewound*:
+/// process states are restored from the recorded history, the unused
+/// innovations are returned to their tiles, and (for a moving batch) the
+/// mobility walker is restored from its snapshot and replayed over the
+/// consumed slots — so the scalar path resumes exactly where a
+/// never-lookahead simulator would be.
+#[derive(Debug, Clone)]
+struct Lookahead {
+    /// Precomputed states for the batch's slots.
+    states: Vec<ChannelState>,
+    /// Shadowing state history, site-major with stride [`LA_STRIDE`]:
+    /// entry `site·LA_STRIDE + k` is that site's state after `k`
+    /// consumed batch slots (`k = 0`: the pre-batch state).
+    shadow: Vec<f64>,
+    /// Fading state history, same indexing (single process).
+    fading: Vec<f64>,
+    /// Serving index after `k` consumed slots; `usize::MAX` encodes None.
+    serving: Vec<usize>,
+    /// Whether the batch consumed one shadowing draw per slot (false only
+    /// when environment churn is disabled).
+    shadow_consumed: bool,
+    /// Whether this is a moving batch built by [`ChannelSimulator::step`]
+    /// (mobility-driven positions, snapshot-based rewind).
+    mobility: bool,
+    /// Next unread batch entry.
+    pos: usize,
+    /// Batch length (`0` = no batch pending).
+    len: usize,
+    /// Position the still batch was computed for. Moving batches store a
+    /// NaN position here so the `step_at` pop test never matches them.
+    position: Position,
+    /// Per-slot UE positions of the batch.
+    positions: Vec<Position>,
+    /// Per-slot movement deltas of a moving batch, metres.
+    moved: Vec<f64>,
+    /// Slot-major per-(slot, site) large-scale base powers
+    /// (`tx_per_re − path loss − sector`), dBm.
+    bases: Vec<f64>,
+    /// Slot-major per-(slot, site) 2D distances, metres.
+    dist: Vec<f64>,
+    /// Mobility walker state at the start of a moving batch; rewinding
+    /// restores it and replays the consumed slots (deterministic, and any
+    /// waypoint draws replay identically from the snapshotted RNG).
+    snapshot: Option<MobilityState>,
+    /// Scratch: site-major per-slot dBm/10 lanes for the `pow10` batch
+    /// (also reused for the clamped path-loss distances of a moving
+    /// batch's `log10` stage, which completes before the power stage).
+    pow_args: Vec<f64>,
+    /// Scratch: the corresponding linear powers (also reused for the
+    /// path-loss logarithms of a moving batch).
+    mw: Vec<f64>,
+    /// Scratch: per-slot `log10` arguments (3 lanes per slot).
+    log_args: Vec<f64>,
+    /// Scratch: the corresponding logarithms.
+    logs: Vec<f64>,
+}
+
+impl Lookahead {
+    fn new(n_sites: usize) -> Self {
+        let dummy = ChannelState {
+            slot: 0,
+            position: Position::ORIGIN,
+            serving_site: 0,
+            serving_distance_m: 0.0,
+            measurement: RadioMeasurement {
+                rsrp_dbm: 0.0,
+                rssi_dbm: 0.0,
+                rsrq_db: 0.0,
+                sinr_db: 0.0,
+            },
+            sinr_db: 0.0,
+            blocked: false,
+        };
+        Lookahead {
+            states: vec![dummy; LA_SLOTS],
+            shadow: vec![0.0; n_sites * LA_STRIDE],
+            fading: vec![0.0; LA_STRIDE],
+            serving: vec![usize::MAX; LA_STRIDE],
+            shadow_consumed: false,
+            mobility: false,
+            pos: 0,
+            len: 0,
+            position: Position::ORIGIN,
+            positions: vec![Position::ORIGIN; LA_SLOTS],
+            moved: vec![0.0; LA_SLOTS],
+            bases: vec![0.0; n_sites * LA_SLOTS],
+            dist: vec![0.0; n_sites * LA_SLOTS],
+            snapshot: None,
+            pow_args: vec![0.0; n_sites * LA_SLOTS],
+            mw: vec![0.0; n_sites * LA_SLOTS],
+            log_args: vec![0.0; 3 * LA_SLOTS],
+            logs: vec![0.0; 3 * LA_SLOTS],
+        }
+    }
+
+    /// Resize the site-dependent buffers after a layout swap.
+    fn resize_sites(&mut self, n_sites: usize) {
+        self.shadow.resize(n_sites * LA_STRIDE, 0.0);
+        self.bases.resize(n_sites * LA_SLOTS, 0.0);
+        self.dist.resize(n_sites * LA_SLOTS, 0.0);
+        self.pow_args.resize(n_sites * LA_SLOTS, 0.0);
+        self.mw.resize(n_sites * LA_SLOTS, 0.0);
+    }
+}
+
 /// Per-slot channel simulator for one UE on one carrier.
 #[derive(Debug, Clone)]
 pub struct ChannelSimulator {
@@ -143,6 +276,17 @@ pub struct ChannelSimulator {
     /// of the per-slot measurement arithmetic (bit-exact: deterministic
     /// functions of the configuration).
     noise_terms: NoiseTerms,
+    /// The path-loss model with its distance-independent terms hoisted —
+    /// one `log10` per site per recompute instead of the model's
+    /// recursive ~4–7. Bit-identical to `config.pathloss.loss_db`
+    /// (see [`PathLossProfile`]); the driving fast path.
+    pl_profile: PathLossProfile,
+    /// Per-site `tx_per_re_dbm(site.tx_power_dbm)` — pure function of
+    /// config + layout, hoisted out of the movement recompute (one
+    /// `log10` per site per slot while driving). Rebuilt on layout swap.
+    tx_per_re: Vec<f64>,
+    /// Lookahead batch state and scratch (see [`Lookahead`]).
+    la: Lookahead,
 }
 
 impl ChannelSimulator {
@@ -167,6 +311,9 @@ impl ChannelSimulator {
             .map(|s| ShadowingProcess::new(config.shadowing, seeds, &format!("site{}", s.id)))
             .collect();
         let n_sites = layout.sites.len();
+        let pl_profile = config.pathloss.profile();
+        let tx_per_re =
+            layout.sites.iter().map(|s| config.signal.tx_per_re_dbm(s.tx_power_dbm)).collect();
         ChannelSimulator {
             fading: FadingProcess::new(fading_cfg, seeds, "serving"),
             blockage: BlockageProcess::new(config.blockage, seeds, "serving"),
@@ -181,6 +328,9 @@ impl ChannelSimulator {
             rx: Vec::with_capacity(n_sites),
             interferers: Vec::with_capacity(n_sites.saturating_sub(1)),
             noise_terms: config.signal.noise_terms(),
+            pl_profile,
+            tx_per_re,
+            la: Lookahead::new(n_sites),
         }
     }
 
@@ -192,15 +342,24 @@ impl ChannelSimulator {
     /// sites the `cur < rx.len()` hysteresis guard alone would let the
     /// stale index silently survive, pinning the UE to an arbitrary site.
     pub fn set_layout(&mut self, layout: DeploymentLayout, seeds: &SeedTree) {
+        // The fading process survives the swap, so any prefetched batch
+        // must be rolled back before its state is rebuilt around it.
+        self.rewind_lookahead();
         self.shadow = layout
             .sites
             .iter()
             .map(|s| ShadowingProcess::new(self.config.shadowing, seeds, &format!("site{}", s.id)))
             .collect();
+        self.tx_per_re = layout
+            .sites
+            .iter()
+            .map(|s| self.config.signal.tx_per_re_dbm(s.tx_power_dbm))
+            .collect();
         self.layout = layout;
         self.serving_idx = None;
         self.cache_position = None;
         self.large_scale.clear();
+        self.la.resize_sites(self.layout.sites.len());
     }
 
     /// Adopt another simulator's cached large-scale terms, so co-located
@@ -219,6 +378,9 @@ impl ChannelSimulator {
         {
             return false;
         }
+        // A pending lookahead batch was computed against the *old* cache;
+        // roll it back so the next step re-derives from the adopted one.
+        self.rewind_lookahead();
         self.cache_position = other.cache_position;
         self.large_scale.clone_from(&other.large_scale);
         true
@@ -235,10 +397,104 @@ impl ChannelSimulator {
     }
 
     /// Advance one slot using the internal mobility model.
+    ///
+    /// A moving UE takes the moving-lookahead path: the walker is
+    /// advanced a whole batch ahead (snapshotted for exact rewind) and
+    /// the per-slot path-loss `log10` plus all dB↔mW conversions are
+    /// evaluated in SIMD slices across the batch — bit-identical to
+    /// slot-by-slot stepping. Stationary UEs fall through to
+    /// [`step_at`], whose still-path lookahead covers them.
+    ///
+    /// [`step_at`]: ChannelSimulator::step_at
     pub fn step(&mut self) -> ChannelState {
+        if self.la.pos < self.la.len && self.la.mobility {
+            let state = self.la.states[self.la.pos];
+            debug_assert_eq!(state.slot, self.slot, "lookahead out of step");
+            self.la.pos += 1;
+            self.slot += 1;
+            return state;
+        }
+        if self.mobility.speed_mps() > 0.0 && !self.config.blockage.is_active() {
+            return self.step_moving_batch();
+        }
         let moved = self.mobility.advance(self.config.slot_s);
         let position = self.mobility.position();
         self.step_at(position, moved)
+    }
+
+    /// Build a moving-lookahead batch from the internal mobility model
+    /// and return its first slot (see [`Lookahead`]).
+    fn step_moving_batch(&mut self) -> ChannelState {
+        // A pending still batch (from interleaved `step_at` calls) must
+        // be rolled back before mobility-driven stepping.
+        self.rewind_lookahead();
+        let slot_s = self.config.slot_s;
+        let mut len = LA_SLOTS;
+        for sh in self.shadow.iter_mut() {
+            len = len.min(sh.lookahead_capacity());
+        }
+        len = len.min(self.fading.lookahead_capacity());
+
+        // Snapshot the walker, then collect the batch trajectory.
+        match &mut self.la.snapshot {
+            Some(s) => s.clone_from(&self.mobility),
+            None => self.la.snapshot = Some(self.mobility.clone()),
+        }
+        let mut all_moving = true;
+        for b in 0..len {
+            let m = self.mobility.advance(slot_s);
+            self.la.moved[b] = m;
+            self.la.positions[b] = self.mobility.position();
+            all_moving &= m > 0.0;
+        }
+        if !all_moving && self.config.shadowing.env_speed_mps * slot_s <= 0.0 {
+            // A zero-movement slot without environment churn consumes no
+            // shadowing draw, which the one-draw-per-slot rewind
+            // accounting cannot express. Restore the walker and take the
+            // scalar path for this slot (rare: a paused walker under a
+            // churn-free config).
+            if let Some(snap) = self.la.snapshot.as_mut() {
+                std::mem::swap(&mut self.mobility, snap);
+            }
+            let moved = self.mobility.advance(slot_s);
+            let position = self.mobility.position();
+            return self.step_at(position, moved);
+        }
+
+        // Large-scale terms for every (slot, site): the clamped distances
+        // feed one `log10` batch, each lane finished through the hoisted
+        // profile — the exact floats the scalar recompute produces.
+        let n_sites = self.layout.sites.len();
+        let la = &mut self.la;
+        for b in 0..len {
+            let pos = la.positions[b];
+            let row = b * n_sites;
+            for (p, site) in self.layout.sites.iter().enumerate() {
+                let (d2, d3) = site.distances(&pos);
+                la.dist[row + p] = d2;
+                la.pow_args[row + p] = d3.max(10.0);
+            }
+        }
+        vmath::log10_slice(&la.pow_args[..len * n_sites], &mut la.mw[..len * n_sites]);
+        for b in 0..len {
+            let pos = la.positions[b];
+            let row = b * n_sites;
+            for (p, site) in self.layout.sites.iter().enumerate() {
+                let pl = self.pl_profile.loss_db_with_log(la.pow_args[row + p], la.mw[row + p]);
+                let sector = site.sector_attenuation_db(&pos);
+                la.bases[row + p] = self.tx_per_re[p] - pl - sector;
+            }
+        }
+        // Leave the large-scale cache at the batch's final position; the
+        // entries are pure functions of (position, config, layout), so a
+        // later `step_at` at that position reuses them bit-exactly.
+        self.large_scale.clear();
+        let last = (len - 1) * n_sites;
+        for (p, site) in self.layout.sites.iter().enumerate() {
+            self.large_scale.push((site.id, la.bases[last + p], la.dist[last + p]));
+        }
+        self.cache_position = Some(la.positions[len - 1]);
+        self.finish_batch(len, true, true)
     }
 
     /// Advance one slot with an externally-supplied position (used when
@@ -254,18 +510,52 @@ impl ChannelSimulator {
     /// processes advance every slot in unchanged order, and the float
     /// expression tree `((tx − pl) − sector) + sh` is preserved exactly.
     pub fn step_at(&mut self, position: Position, moved_m: f64) -> ChannelState {
+        // Still-path lookahead: pop a precomputed slot if one is pending,
+        // or roll the batch back when the caller diverged from the batched
+        // position (the rewind restores every process bit-exactly, so the
+        // scalar path below resumes as if the batch never ran).
+        if self.la.pos < self.la.len {
+            if moved_m == 0.0 && position == self.la.position {
+                let state = self.la.states[self.la.pos];
+                debug_assert_eq!(state.slot, self.slot, "lookahead out of step");
+                self.la.pos += 1;
+                self.slot += 1;
+                return state;
+            }
+            self.rewind_lookahead();
+        }
+        // A stationary UE whose large-scale cache is already warm (and
+        // whose carrier has no blockage process drawing per-slot RNG) has
+        // no per-slot inputs at all — precompute a whole batch of slots
+        // with the shadowing/fading innovations evaluated tile-wise and
+        // the dB↔mW conversions in wide SIMD slices.
+        if moved_m == 0.0
+            && self.cache_position == Some(position)
+            && !self.config.blockage.is_active()
+        {
+            return self.build_lookahead(position);
+        }
+
         let slot = self.slot;
         self.slot += 1;
         let moved = moved_m;
 
-        // Large-scale deterministic terms, recomputed only on movement.
+        // Large-scale deterministic terms, recomputed only on movement —
+        // and then through the hoisted profile/tx constants, so a driving
+        // UE pays one log10 (+ one exp when blended) per site instead of
+        // the model's recursive chain. Each substitution reproduces the
+        // reference expression bit-for-bit: the profile is proven
+        // bit-identical to `loss_db`, `tx_per_re` holds the exact value
+        // `tx_per_re_dbm` returns, and `distances` reuses the 2D distance
+        // `distance_3d` computes internally.
         if self.cache_position != Some(position) {
             self.large_scale.clear();
-            for site in self.layout.sites.iter() {
-                let pl = self.config.pathloss.loss_db(site.distance_3d(&position));
+            for (site, &tx_re) in self.layout.sites.iter().zip(self.tx_per_re.iter()) {
+                let (d2, d3) = site.distances(&position);
+                let pl = self.pl_profile.loss_db(d3);
                 let sector = site.sector_attenuation_db(&position);
-                let base = self.config.signal.tx_per_re_dbm(site.tx_power_dbm) - pl - sector;
-                self.large_scale.push((site.id, base, site.position.distance_to(&position)));
+                let base = tx_re - pl - sector;
+                self.large_scale.push((site.id, base, d2));
             }
             self.cache_position = Some(position);
         }
@@ -333,6 +623,218 @@ impl ChannelSimulator {
         }
     }
 
+    /// Precompute up to [`LA_SLOTS`] stationary slots at `position` and
+    /// return the first, leaving the rest for [`step_at`] to pop.
+    ///
+    /// Bit-identity argument, piece by piece:
+    /// * each shadowing/fading process advances through the same AR(1)
+    ///   recurrence, drawing the same innovations in the same per-stream
+    ///   order as `LA` sequential slots would (batches never cross a tile
+    ///   refill, so the prefetch grouping is unchanged);
+    /// * serving selection replays the scalar `max_by` + hysteresis per
+    ///   slot, sequentially, on the same `base + sh` powers;
+    /// * the `pow10`/`log10` conversions use the same argument expression
+    ///   trees, and `vmath` slice lanes equal its scalar calls for every
+    ///   input regardless of how lanes are grouped;
+    /// * blockage is gated inactive, which the scalar path evaluates as a
+    ///   `0.0` contribution and zero RNG draws — and `x − 0.0 == x`
+    ///   bitwise for every float the SINR sum can produce.
+    ///
+    /// [`step_at`]: ChannelSimulator::step_at
+    fn build_lookahead(&mut self, position: Position) -> ChannelState {
+        let slot_s = self.config.slot_s;
+        let n_sites = self.large_scale.len();
+        // Batch length: every process's run must stay inside its current
+        // innovation tile so an abandoned tail can be rewound. Shadowing
+        // only consumes draws when environment churn is enabled.
+        let mut len = LA_SLOTS;
+        let shadow_consumed = self.config.shadowing.env_speed_mps * slot_s > 0.0;
+        if shadow_consumed {
+            for sh in self.shadow.iter_mut() {
+                len = len.min(sh.lookahead_capacity());
+            }
+        }
+        len = len.min(self.fading.lookahead_capacity());
+
+        // Every slot sits at the cached position with the cached
+        // large-scale terms.
+        let la = &mut self.la;
+        for b in 0..len {
+            la.positions[b] = position;
+            let row = b * n_sites;
+            for (p, &(_, base, d2)) in self.large_scale.iter().enumerate() {
+                la.bases[row + p] = base;
+                la.dist[row + p] = d2;
+            }
+        }
+        self.finish_batch(len, shadow_consumed, false)
+    }
+
+    /// Shared back half of both batch builders: advance the stochastic
+    /// processes over the trajectory already recorded in `la`
+    /// (positions/bases/dist), replay serving selection per slot, convert
+    /// the whole batch through SIMD `pow10`/`log10` slices, and stage the
+    /// resulting states.
+    fn finish_batch(&mut self, len: usize, shadow_consumed: bool, mobility: bool) -> ChannelState {
+        let slot_s = self.config.slot_s;
+        let n_sites = self.layout.sites.len();
+        // Record pre-batch states, then advance every process `len` slots.
+        let la = &mut self.la;
+        for (p, sh) in self.shadow.iter_mut().enumerate() {
+            let base = p * LA_STRIDE;
+            la.shadow[base] = sh.value_db();
+            if mobility {
+                sh.advance_lookahead_path(
+                    &la.moved[..len],
+                    slot_s,
+                    &mut la.shadow[base + 1..base + 1 + len],
+                );
+            } else {
+                sh.advance_lookahead(0.0, slot_s, &mut la.shadow[base + 1..base + 1 + len]);
+            }
+        }
+        la.fading[0] = self.fading.value_db();
+        self.fading.advance_lookahead(&mut la.fading[1..=len]);
+        la.serving[0] = self.serving_idx.unwrap_or(usize::MAX);
+
+        // Per-site per-slot received powers (`base + sh`, slot-major) and
+        // the per-slot serving selection, replayed sequentially so the
+        // hysteresis chain matches the scalar path.
+        for b in 0..len {
+            let row = b * n_sites;
+            for p in 0..n_sites {
+                la.pow_args[row + p] = la.bases[row + p] + la.shadow[p * LA_STRIDE + 1 + b];
+            }
+        }
+        let mut serving = self.serving_idx;
+        for b in 0..len {
+            let row = &la.pow_args[b * n_sites..(b + 1) * n_sites];
+            let (best_idx, _) = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("powers are finite"))
+                .expect("layout is non-empty");
+            let serving_idx = match serving {
+                Some(cur) if cur < n_sites => {
+                    if row[best_idx] > row[cur] + self.config.handover_hysteresis_db {
+                        best_idx
+                    } else {
+                        cur
+                    }
+                }
+                _ => best_idx,
+            };
+            serving = Some(serving_idx);
+            la.serving[b + 1] = serving_idx;
+        }
+        self.serving_idx = serving;
+
+        // All dBm→mW conversions of the batch in one SIMD pass …
+        for v in la.pow_args[..len * n_sites].iter_mut() {
+            *v /= 10.0;
+        }
+        vmath::pow10_slice(&la.pow_args[..len * n_sites], &mut la.mw[..len * n_sites]);
+
+        // … then the three per-slot dB outputs in one `log10` pass.
+        let nrb = self.config.signal.n_rb as f64;
+        for b in 0..len {
+            let serving_idx = la.serving[b + 1];
+            let row = &la.mw[b * n_sites..(b + 1) * n_sites];
+            let s = row[serving_idx];
+            let mut interference = 0.0;
+            for (p, &mw) in row.iter().enumerate() {
+                if p != serving_idx {
+                    interference += mw;
+                }
+            }
+            let i = interference * self.config.signal.neighbor_load
+                + self.noise_terms.background_mw;
+            let n = self.noise_terms.noise_mw;
+            let rssi_per_re = self.config.signal.serving_load * s + i + n;
+            la.log_args[b * 3] = (rssi_per_re * 12.0 * nrb).max(1e-30);
+            la.log_args[b * 3 + 1] = nrb * s / (rssi_per_re * 12.0 * nrb);
+            la.log_args[b * 3 + 2] = s / (i + n);
+        }
+        vmath::log10_slice(&la.log_args[..3 * len], &mut la.logs[..3 * len]);
+
+        let first_slot = self.slot;
+        for b in 0..len {
+            let serving_idx = la.serving[b + 1];
+            let row = b * n_sites;
+            let serving_re_dbm =
+                la.bases[row + serving_idx] + la.shadow[serving_idx * LA_STRIDE + 1 + b];
+            let mean_sinr_db = 10.0 * la.logs[b * 3 + 2] + self.config.sinr_offset_db;
+            la.states[b] = ChannelState {
+                slot: first_slot + b as u64,
+                position: la.positions[b],
+                serving_site: self.layout.sites[serving_idx].id,
+                serving_distance_m: la.dist[row + serving_idx],
+                measurement: RadioMeasurement {
+                    rsrp_dbm: serving_re_dbm,
+                    rssi_dbm: 10.0 * la.logs[b * 3],
+                    rsrq_db: 10.0 * la.logs[b * 3 + 1],
+                    sinr_db: mean_sinr_db,
+                },
+                // Blockage is inactive (both builders gate on it): the
+                // scalar path adds `fading − 0.0`, bitwise `+ fading`.
+                sinr_db: mean_sinr_db + la.fading[1 + b],
+                blocked: false,
+            };
+        }
+        la.len = len;
+        la.pos = 1;
+        // A moving batch's positions differ per slot; park a NaN here so
+        // the `step_at` pop test (NaN ≠ NaN) can never match it.
+        la.position =
+            if mobility { Position::new(f64::NAN, f64::NAN) } else { la.positions[0] };
+        la.shadow_consumed = shadow_consumed;
+        la.mobility = mobility;
+        self.slot += 1;
+        la.states[0]
+    }
+
+    /// Roll back the unread tail of a pending lookahead batch: restore the
+    /// shadowing/fading states and serving index recorded at the last
+    /// *consumed* slot and return the unused innovations to their tiles.
+    /// After this the simulator is bit-identical to one that only ever
+    /// stepped slot by slot up to `self.slot`.
+    fn rewind_lookahead(&mut self) {
+        let unread = self.la.len - self.la.pos;
+        if unread > 0 {
+            let k = self.la.pos;
+            if self.la.shadow_consumed {
+                for (p, sh) in self.shadow.iter_mut().enumerate() {
+                    sh.rewind_lookahead(unread, self.la.shadow[p * LA_STRIDE + k]);
+                }
+            } else {
+                for (p, sh) in self.shadow.iter_mut().enumerate() {
+                    sh.rewind_lookahead(0, self.la.shadow[p * LA_STRIDE + k]);
+                }
+            }
+            self.fading.rewind_lookahead(unread, self.la.fading[k]);
+            self.serving_idx = match self.la.serving[k] {
+                usize::MAX => None,
+                i => Some(i),
+            };
+            if self.la.mobility {
+                // Restore the walker to the batch start, then replay the
+                // consumed slots: advancing is deterministic given the
+                // snapshotted state (any waypoint draws replay from the
+                // snapshotted RNG), so this lands exactly where slot-by-
+                // slot stepping would have.
+                if let Some(snap) = self.la.snapshot.as_mut() {
+                    std::mem::swap(&mut self.mobility, snap);
+                    for _ in 0..k {
+                        self.mobility.advance(self.config.slot_s);
+                    }
+                }
+            }
+        }
+        self.la.pos = 0;
+        self.la.len = 0;
+        self.la.mobility = false;
+    }
+
     /// The pre-optimisation reference implementation of [`step_at`]:
     /// recomputes every large-scale term, every process coefficient
     /// (shadowing ρ, fading ρ/σ, noise terms) and heap-allocates the
@@ -342,6 +844,9 @@ impl ChannelSimulator {
     ///
     /// [`step_at`]: ChannelSimulator::step_at
     pub fn step_at_uncached(&mut self, position: Position, moved_m: f64) -> ChannelState {
+        // Callers may interleave cached and uncached stepping on one
+        // simulator; a pending lookahead batch must be rolled back first.
+        self.rewind_lookahead();
         let slot = self.slot;
         self.slot += 1;
         let moved = moved_m;
@@ -406,6 +911,9 @@ impl ChannelSimulator {
     ///
     /// [`step`]: ChannelSimulator::step
     pub fn step_uncached(&mut self) -> ChannelState {
+        // Rewind before touching the walker: a pending moving batch has
+        // already advanced it, and the rewind rolls it back.
+        self.rewind_lookahead();
         let moved = self.mobility.advance(self.config.slot_s);
         let position = self.mobility.position();
         self.step_at_uncached(position, moved)
@@ -649,6 +1157,165 @@ mod tests {
         );
         assert!(!other_layout.prime_cache_from(&leader));
         assert!(!mk(34).prime_cache_from(&mk(35)));
+    }
+
+    #[test]
+    fn moving_lookahead_matches_uncached_on_route() {
+        // Driving a waypoint route (corner turns land mid-batch) through
+        // the moving lookahead must equal the uncached reference.
+        let mk = || {
+            sim(
+                DeploymentLayout::three_site_dense(),
+                MobilityModel::driving_loop(Position::ORIGIN, 150.0),
+                13,
+            )
+        };
+        let mut cached = mk();
+        let mut reference = mk();
+        for i in 0..60_000 {
+            assert_eq!(cached.step(), reference.step_uncached(), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn moving_lookahead_rewinds_for_interleaved_calls() {
+        // Interleaving mobility-driven step() with caller-positioned
+        // step_at()/step_at_uncached() must match a reference that mixes
+        // the same sequence through the scalar lanes: each switch away
+        // from step() rolls back the walker and every process.
+        let mk = || {
+            sim(
+                DeploymentLayout::three_site_dense(),
+                MobilityModel::walking(Position::ORIGIN, 80.0),
+                29,
+            )
+        };
+        let mut mixed = mk();
+        let mut reference = mk();
+        let spot = Position::new(30.0, 12.0);
+        for round in 0..30 {
+            // A few mobility-driven slots (builds a moving batch) …
+            for _ in 0..(3 + round % 7) {
+                assert_eq!(mixed.step(), reference.step_uncached(), "round {round}");
+            }
+            // … abandoned mid-batch by external-position stepping …
+            for _ in 0..2 {
+                assert_eq!(
+                    mixed.step_at(spot, 0.0),
+                    reference.step_at_uncached(spot, 0.0),
+                    "round {round}"
+                );
+            }
+            // … and by the uncached entry point directly.
+            assert_eq!(mixed.step_uncached(), reference.step_uncached(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn lookahead_rewind_on_movement_is_bit_exact() {
+        // Stationary stretches build 8-slot lookahead batches; popping 5
+        // then moving abandons each batch mid-flight. The rewind must
+        // restore every process exactly, so the whole interleaved run
+        // matches a reference that only ever steps the scalar path.
+        let mk = || {
+            sim(
+                DeploymentLayout::three_site_dense(),
+                MobilityModel::Stationary { position: Position::ORIGIN },
+                17,
+            )
+        };
+        let mut cached = mk();
+        let mut reference = mk();
+        let spot = Position::new(42.0, -7.0);
+        let step_m = 11.0 * 0.5e-3;
+        for round in 0..40 {
+            for _ in 0..5 {
+                assert_eq!(cached.step_at(spot, 0.0), reference.step_at_uncached(spot, 0.0));
+            }
+            // Invalidate the three unread slots: the UE moves.
+            let pos = Position::new(42.0 + round as f64, -7.0);
+            assert_eq!(cached.step_at(pos, step_m), reference.step_at_uncached(pos, step_m));
+            // And once more at the old spot but with motion (same position,
+            // nonzero delta must also invalidate).
+            assert_eq!(cached.step_at(spot, step_m), reference.step_at_uncached(spot, step_m));
+        }
+    }
+
+    #[test]
+    fn mixed_cached_uncached_stepping_rewinds_lookahead() {
+        // Interleaving step_at and step_at_uncached on one simulator must
+        // match a pure-uncached reference: the uncached entry point rolls
+        // back any pending lookahead batch first.
+        let spot = Position::new(60.0, 10.0);
+        let mk = || {
+            sim(
+                DeploymentLayout::single_site(),
+                MobilityModel::Stationary { position: spot },
+                23,
+            )
+        };
+        let mut mixed = mk();
+        let mut reference = mk();
+        for i in 0..200u32 {
+            let a = if i % 7 == 3 {
+                mixed.step_at_uncached(spot, 0.0)
+            } else {
+                mixed.step_at(spot, 0.0)
+            };
+            assert_eq!(a, reference.step_at_uncached(spot, 0.0), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn priming_mid_batch_rewinds_pending_lookahead() {
+        // Adopting another simulator's cache mid-batch discards the batch
+        // (it was computed against the old cache) without losing state.
+        let pos = Position::new(85.0, -10.0);
+        let mk = |seed: u64| {
+            ChannelSimulator::new(
+                ChannelConfig::midband_urban(245),
+                DeploymentLayout::three_site_dense(),
+                MobilityModel::Stationary { position: pos },
+                &SeedTree::new(seed),
+            )
+        };
+        let mut leader = mk(41);
+        leader.step_at(pos, 0.0);
+        let mut primed = mk(42);
+        let mut replica = mk(42);
+        for _ in 0..3 {
+            assert_eq!(primed.step_at(pos, 0.0), replica.step_at_uncached(pos, 0.0));
+        }
+        assert!(primed.prime_cache_from(&leader));
+        for _ in 0..20 {
+            assert_eq!(primed.step_at(pos, 0.0), replica.step_at_uncached(pos, 0.0));
+        }
+    }
+
+    #[test]
+    fn layout_swap_mid_batch_rewinds_fading() {
+        // The fading process survives a layout swap; a swap mid-batch must
+        // first return the batch's unused innovations to the fading tile.
+        let pos = Position::new(40.0, 0.0);
+        let mk = || {
+            ChannelSimulator::new(
+                ChannelConfig::midband_urban(245),
+                DeploymentLayout::two_site_sparse(),
+                MobilityModel::Stationary { position: pos },
+                &SeedTree::new(51),
+            )
+        };
+        let mut swapped = mk();
+        let mut reference = mk();
+        for _ in 0..3 {
+            assert_eq!(swapped.step_at(pos, 0.0), reference.step_at_uncached(pos, 0.0));
+        }
+        let seeds2 = SeedTree::new(52);
+        swapped.set_layout(DeploymentLayout::three_site_dense(), &seeds2);
+        reference.set_layout(DeploymentLayout::three_site_dense(), &seeds2);
+        for _ in 0..20 {
+            assert_eq!(swapped.step_at(pos, 0.0), reference.step_at_uncached(pos, 0.0));
+        }
     }
 
     #[test]

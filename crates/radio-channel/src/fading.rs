@@ -16,7 +16,7 @@
 //! * mmWave multiplies Doppler by the frequency ratio (≈ 8× at 28 GHz).
 
 use crate::rng::SeedTree;
-use crate::shadowing::gaussian;
+use crate::shadowing::GaussianTile;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
@@ -54,7 +54,7 @@ impl FadingConfig {
     /// has σ ≈ 5.57 dB; a K-factor of k (linear) scales this by
     /// `1/sqrt(1+k)` (the diffuse fraction of power).
     pub fn sigma_db(&self) -> f64 {
-        let k = 10f64.powf(self.rician_k_db / 10.0);
+        let k = vmath::pow10(self.rician_k_db / 10.0);
         5.57 / (1.0 + k).sqrt()
     }
 
@@ -62,7 +62,7 @@ impl FadingConfig {
     /// 0.5 after one coherence time `T_c ≈ 0.423/f_d`:
     /// `ρ = exp(−ln2 · f_d · T_slot / 0.423)`.
     pub fn slot_rho(&self) -> f64 {
-        (-(self.doppler_hz() * self.slot_s) / 0.423 * std::f64::consts::LN_2).exp()
+        vmath::exp(-(self.doppler_hz() * self.slot_s) / 0.423 * std::f64::consts::LN_2)
     }
 }
 
@@ -71,6 +71,7 @@ impl FadingConfig {
 pub struct FadingProcess {
     config: FadingConfig,
     rng: ChaCha12Rng,
+    tile: GaussianTile,
     current_db: f64,
     /// Hoisted AR(1) coefficient (`config.slot_rho()`); pure function of
     /// the config, refreshed by [`FadingProcess::set_speed`].
@@ -84,10 +85,10 @@ impl FadingProcess {
     /// Initialise from the stationary distribution N(0, σ²).
     pub fn new(config: FadingConfig, seeds: &SeedTree, link_label: &str) -> Self {
         let mut rng = seeds.stream(&format!("fading/{link_label}"));
-        let current_db = gaussian(&mut rng) * config.sigma_db();
+        let current_db = crate::shadowing::gaussian(&mut rng) * config.sigma_db();
         let rho = config.slot_rho();
         let gain = (1.0 - rho * rho).sqrt() * config.sigma_db();
-        FadingProcess { config, rng, current_db, rho, gain }
+        FadingProcess { config, rng, tile: GaussianTile::new(), current_db, rho, gain }
     }
 
     /// Current fading value in dB (zero-mean).
@@ -105,9 +106,36 @@ impl FadingProcess {
 
     /// Advance by one slot and return the new value in dB.
     pub fn advance_slot(&mut self) -> f64 {
-        let w = gaussian(&mut self.rng);
+        let w = self.tile.next_batched(&mut self.rng);
         self.current_db = self.rho * self.current_db + self.gain * w;
         self.current_db
+    }
+
+    /// How many slots a lookahead run may advance without crossing a tile
+    /// refill boundary (refilling first if the tile is drained).
+    pub(crate) fn lookahead_capacity(&mut self) -> usize {
+        self.tile.ensure_prefetched(&mut self.rng)
+    }
+
+    /// Advance `out.len()` slots of [`advance_slot`] at once, recording
+    /// the value after each. Caller must bound `out.len()` by
+    /// [`lookahead_capacity`]. Bit-identical to sequential calls.
+    ///
+    /// [`advance_slot`]: FadingProcess::advance_slot
+    /// [`lookahead_capacity`]: FadingProcess::lookahead_capacity
+    pub(crate) fn advance_lookahead(&mut self, out: &mut [f64]) {
+        for o in out.iter_mut() {
+            let w = self.tile.take();
+            self.current_db = self.rho * self.current_db + self.gain * w;
+            *o = self.current_db;
+        }
+    }
+
+    /// Roll back the last `n` slots of a lookahead run: restore
+    /// `state_db` and return the `n` unused innovations to the tile.
+    pub(crate) fn rewind_lookahead(&mut self, n: usize, state_db: f64) {
+        self.tile.rewind(n);
+        self.current_db = state_db;
     }
 
     /// The pre-optimisation [`advance_slot`]: recomputes ρ (`exp`) and σ
@@ -119,7 +147,7 @@ impl FadingProcess {
     pub fn advance_slot_uncached(&mut self) -> f64 {
         let rho = self.config.slot_rho();
         let sigma = self.config.sigma_db();
-        let w = gaussian(&mut self.rng);
+        let w = self.tile.next_unbatched(&mut self.rng);
         self.current_db = rho * self.current_db + (1.0 - rho * rho).sqrt() * sigma * w;
         self.current_db
     }
@@ -202,6 +230,21 @@ mod tests {
         let mut b = FadingProcess::new(cfg(1.4, 6.0), &SeedTree::new(3), "x");
         for _ in 0..100 {
             assert_eq!(a.advance_slot(), b.advance_slot());
+        }
+    }
+
+    #[test]
+    fn batched_advance_matches_uncached_reference() {
+        // Tile-prefetched production path vs the per-slot scalar
+        // reference: same RNG stream, byte-identical values.
+        let mut batched = FadingProcess::new(cfg(11.0, 6.0), &SeedTree::new(21), "eq");
+        let mut reference = FadingProcess::new(cfg(11.0, 6.0), &SeedTree::new(21), "eq");
+        for i in 0..150 {
+            assert_eq!(
+                batched.advance_slot().to_bits(),
+                reference.advance_slot_uncached().to_bits(),
+                "slot {i}"
+            );
         }
     }
 }

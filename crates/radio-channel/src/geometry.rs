@@ -74,9 +74,16 @@ impl GnbSite {
 
     /// 3D distance from the site antenna to a UE at 1.5 m height.
     pub fn distance_3d(&self, ue: &Position) -> f64 {
+        self.distances(ue).1
+    }
+
+    /// `(2D, 3D)` distance to a UE in one evaluation: callers that need
+    /// both (the per-slot large-scale recompute) reuse the 2D value the
+    /// 3D formula already derives, instead of a second `sqrt` chain.
+    pub fn distances(&self, ue: &Position) -> (f64, f64) {
         let d2 = self.position.distance_to(ue);
         let dh = self.height_m - 1.5;
-        (d2 * d2 + dh * dh).sqrt()
+        (d2, (d2 * d2 + dh * dh).sqrt())
     }
 }
 

@@ -9,6 +9,7 @@
 use nr_phy::cqi::{Cqi, CqiTable};
 use nr_phy::mcs::{McsIndex, McsTable};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Implementation loss applied to Shannon capacity when mapping SINR to a
 /// supportable spectral efficiency: `SE = α · log2(1 + SINR)`. α ≈ 0.75 is
@@ -23,28 +24,91 @@ pub const SHANNON_ALPHA: f64 = 0.75;
 /// CQI-matched MCS yields ≈5–15% BLER, the NR operating point.
 pub const SHANNON_ALPHA_DECODE: f64 = 0.85;
 
+/// The 15 spectral-efficiency rows of a CQI table, hoisted so a scan does
+/// not re-derive each row from (modulation, code-rate) fifteen times.
+fn cqi_se_rows(table: CqiTable) -> [f64; 15] {
+    let mut rows = [0.0; 15];
+    for (i, row) in rows.iter_mut().enumerate() {
+        *row = table.spectral_efficiency(Cqi::saturating(i as u8 + 1));
+    }
+    rows
+}
+
+/// The largest CQI whose row the supportable spectral efficiency covers —
+/// the scan shared by the scalar and batched entry points, so both pick
+/// boundary cases identically.
+fn cqi_for_se(se: f64, rows: &[f64; 15]) -> Cqi {
+    let mut best = 0u8;
+    for (i, &row_se) in rows.iter().enumerate() {
+        if row_se <= se {
+            best = i as u8 + 1;
+        }
+    }
+    Cqi::saturating(best)
+}
+
 /// Map a linear-domain capacity estimate to the largest CQI whose spectral
 /// efficiency the channel supports.
 pub fn sinr_to_cqi(sinr_db: f64, table: CqiTable) -> Cqi {
-    let sinr = 10f64.powf(sinr_db / 10.0);
-    let se = SHANNON_ALPHA * (1.0 + sinr).log2();
-    let mut best = Cqi::saturating(0);
-    for c in 1..=15 {
-        let cqi = Cqi::new(c).expect("1..=15 is valid");
-        if table.spectral_efficiency(cqi) <= se {
-            best = cqi;
+    cqi_for_se(vmath::shannon_se(sinr_db, SHANNON_ALPHA), &cqi_se_rows(table))
+}
+
+/// Batched [`sinr_to_cqi`]: one vectorised Shannon-capacity evaluation per
+/// chunk of SINRs, then the shared table scan per element. Bit-identical
+/// to calling the scalar function per element for *every* input bit
+/// pattern (the SIMD spectral-efficiency kernel is lane-exact; see the
+/// `vmath` equivalence contract).
+pub fn sinr_to_cqi_batch(sinr_db: &[f64], table: CqiTable, out: &mut [Cqi]) {
+    assert_eq!(sinr_db.len(), out.len(), "input/output length mismatch");
+    let rows = cqi_se_rows(table);
+    let mut se_buf = [0.0f64; 64];
+    for (chunk, out_chunk) in sinr_db.chunks(64).zip(out.chunks_mut(64)) {
+        let se = &mut se_buf[..chunk.len()];
+        vmath::shannon_se_slice(chunk, SHANNON_ALPHA, se);
+        for (o, &s) in out_chunk.iter_mut().zip(se.iter()) {
+            *o = cqi_for_se(s, &rows);
         }
     }
-    best
+}
+
+/// Lazily filled decode-threshold cache, tables × MCS indices 0..32. The
+/// threshold is a pure function of the (table, index) pair, and the BLER
+/// waterfall sits on the per-slot transmit path — it should not pay an
+/// `exp2` + `log10` chain on every transport block.
+static MCS_THRESHOLD_LUT: OnceLock<[[f64; 32]; 3]> = OnceLock::new();
+
+/// The computation behind [`mcs_sinr_threshold_db`], evaluated directly.
+fn mcs_threshold_direct(table: McsTable, mcs: McsIndex) -> f64 {
+    let se = table.spectral_efficiency(mcs).unwrap_or(0.0);
+    let sinr = (vmath::exp2(se / SHANNON_ALPHA_DECODE) - 1.0).max(1e-9);
+    10.0 * vmath::log10(sinr)
 }
 
 /// SINR (dB) threshold at which an MCS decodes with 50% BLER: the SINR
 /// whose [`SHANNON_ALPHA_DECODE`]-scaled capacity equals the MCS spectral
 /// efficiency.
 pub fn mcs_sinr_threshold_db(table: McsTable, mcs: McsIndex) -> f64 {
-    let se = table.spectral_efficiency(mcs).unwrap_or(0.0);
-    let sinr = (2f64.powf(se / SHANNON_ALPHA_DECODE) - 1.0).max(1e-9);
-    10.0 * sinr.log10()
+    if mcs.0 >= 32 {
+        // Reserved/retransmission indices fall outside the cache; they
+        // resolve through the same `unwrap_or(0.0)` arm either way.
+        return mcs_threshold_direct(table, mcs);
+    }
+    let lut = MCS_THRESHOLD_LUT.get_or_init(|| {
+        let mut lut = [[0.0; 32]; 3];
+        let tables = [McsTable::Qam64, McsTable::Qam256, McsTable::Qam64LowSe];
+        for (t_i, t) in tables.iter().enumerate() {
+            for m in 0..32u8 {
+                lut[t_i][m as usize] = mcs_threshold_direct(*t, McsIndex(m));
+            }
+        }
+        lut
+    });
+    let t_i = match table {
+        McsTable::Qam64 => 0,
+        McsTable::Qam256 => 1,
+        McsTable::Qam64LowSe => 2,
+    };
+    lut[t_i][mcs.0 as usize]
 }
 
 /// Block error rate of an MCS at a given SINR: a logistic waterfall curve
@@ -52,7 +116,7 @@ pub fn mcs_sinr_threshold_db(table: McsTable, mcs: McsIndex) -> f64 {
 /// at mid-band block lengths are ≈ 1 dB wide).
 pub fn bler(sinr_db: f64, table: McsTable, mcs: McsIndex, slope_db: f64) -> f64 {
     let thr = mcs_sinr_threshold_db(table, mcs);
-    1.0 / (1.0 + ((sinr_db - thr) / slope_db.max(0.05)).exp())
+    1.0 / (1.0 + vmath::exp((sinr_db - thr) / slope_db.max(0.05)))
 }
 
 /// Rank-selection profile: SINR thresholds (dB) above which the UE reports
@@ -146,6 +210,13 @@ impl LinkModel {
         sinr_to_cqi(sinr_db, self.cqi_table)
     }
 
+    /// Batched [`LinkModel::cqi`] over a slice of SINRs — the multi-UE
+    /// slot engine computes all CSI-slot reports of a cell in one call.
+    /// Bit-identical to the scalar method per element.
+    pub fn cqi_batch(&self, sinr_db: &[f64], out: &mut [Cqi]) {
+        sinr_to_cqi_batch(sinr_db, self.cqi_table, out)
+    }
+
     /// Rank the UE would report.
     pub fn rank(&self, sinr_db: f64, previous: u8) -> u8 {
         self.rank_profile.rank(sinr_db, previous)
@@ -226,6 +297,45 @@ mod tests {
         assert_eq!(p.rank(16.5, 3), 3);
         // Far below, everyone falls.
         assert_eq!(p.rank(3.0, 4), 1);
+    }
+
+    #[test]
+    fn batched_cqi_bit_identical_to_scalar() {
+        // Ragged lengths straddling the 64-wide chunk, plus non-finite
+        // inputs: the batch must agree with the scalar path element-wise.
+        for table in [CqiTable::Table1, CqiTable::Table2] {
+            for n in [0usize, 1, 3, 63, 64, 65, 130] {
+                let sinrs: Vec<f64> = (0..n)
+                    .map(|i| match i % 5 {
+                        0 => -25.0 + i as f64 * 0.7,
+                        1 => f64::NAN,
+                        2 => f64::INFINITY,
+                        3 => f64::NEG_INFINITY,
+                        _ => (i as f64 - 40.0) * 0.9,
+                    })
+                    .collect();
+                let mut out = vec![Cqi::saturating(0); n];
+                sinr_to_cqi_batch(&sinrs, table, &mut out);
+                for (i, (&s, &got)) in sinrs.iter().zip(out.iter()).enumerate() {
+                    assert_eq!(got, sinr_to_cqi(s, table), "{table:?} n={n} i={i} sinr={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_lut_matches_direct_evaluation() {
+        // The OnceLock cache holds exactly what the direct formula yields,
+        // including reserved indices beyond the table (SE treated as 0).
+        for table in [McsTable::Qam64, McsTable::Qam256, McsTable::Qam64LowSe] {
+            for m in 0..40u8 {
+                assert_eq!(
+                    mcs_sinr_threshold_db(table, McsIndex(m)).to_bits(),
+                    mcs_threshold_direct(table, McsIndex(m)).to_bits(),
+                    "{table:?} mcs {m}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -107,37 +107,43 @@ impl MobilityState {
 
     /// Advance by `dt_s` seconds; returns the distance moved in metres.
     pub fn advance(&mut self, dt_s: f64) -> f64 {
-        match &self.model {
+        // Destructure into disjoint borrows: the match borrows `model`
+        // while the loop bodies mutate position/target/route_leg/rng, and
+        // the Route arm in particular must not have to clone its waypoint
+        // vector every slot to appease the borrow checker (a per-slot
+        // heap allocation on the driving hot path).
+        let MobilityState { model, position, target, route_leg, rng } = self;
+        match model {
             MobilityModel::Stationary { .. } => 0.0,
             MobilityModel::RandomWaypoint { center, radius_m, speed_mps } => {
                 let (center, radius, speed) = (*center, *radius_m, *speed_mps);
                 let mut remaining = speed * dt_s;
                 let mut moved = 0.0;
                 while remaining > 1e-12 {
-                    let target = match self.target {
+                    let tgt = match *target {
                         Some(t) => t,
                         None => {
                             // Uniform point in the disc via rejection-free polar
                             // sampling (sqrt for area uniformity).
-                            let r = radius * self.rng.gen::<f64>().sqrt();
-                            let theta = self.rng.gen::<f64>() * std::f64::consts::TAU;
+                            let r = radius * rng.gen::<f64>().sqrt();
+                            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
                             let t = Position::new(
                                 center.x + r * theta.cos(),
                                 center.y + r * theta.sin(),
                             );
-                            self.target = Some(t);
+                            *target = Some(t);
                             t
                         }
                     };
-                    let dist = self.position.distance_to(&target);
+                    let dist = position.distance_to(&tgt);
                     if dist <= remaining {
-                        self.position = target;
+                        *position = tgt;
                         moved += dist;
                         remaining -= dist;
-                        self.target = None;
+                        *target = None;
                     } else {
                         let t = remaining / dist;
-                        self.position = self.position.lerp(&target, t);
+                        *position = position.lerp(&tgt, t);
                         moved += remaining;
                         remaining = 0.0;
                     }
@@ -145,21 +151,20 @@ impl MobilityState {
                 moved
             }
             MobilityModel::Route { waypoints, speed_mps } => {
-                let waypoints = waypoints.clone();
                 let speed = *speed_mps;
                 let mut remaining = speed * dt_s;
                 let mut moved = 0.0;
                 while remaining > 1e-12 {
-                    let next = waypoints[(self.route_leg + 1) % waypoints.len()];
-                    let dist = self.position.distance_to(&next);
+                    let next = waypoints[(*route_leg + 1) % waypoints.len()];
+                    let dist = position.distance_to(&next);
                     if dist <= remaining {
-                        self.position = next;
+                        *position = next;
                         moved += dist;
                         remaining -= dist;
-                        self.route_leg = (self.route_leg + 1) % waypoints.len();
+                        *route_leg = (*route_leg + 1) % waypoints.len();
                     } else {
                         let t = remaining / dist;
-                        self.position = self.position.lerp(&next, t);
+                        *position = position.lerp(&next, t);
                         moved += remaining;
                         remaining = 0.0;
                     }

@@ -57,37 +57,37 @@ impl PathLossModel {
         let d = d3d_m.max(10.0);
         let fc = self.frequency_ghz;
         match self.scenario {
-            Scenario::FreeSpace => 32.45 + 20.0 * fc.log10() + 20.0 * d.log10(),
+            Scenario::FreeSpace => 32.45 + 20.0 * vmath::log10(fc) + 20.0 * vmath::log10(d),
             Scenario::UmaLos => {
                 let (h_bs, h_ut) = (25.0_f64, 1.5_f64);
                 let d_bp = breakpoint_m(fc, h_bs, h_ut);
                 if d <= d_bp {
-                    28.0 + 22.0 * d.log10() + 20.0 * fc.log10()
+                    28.0 + 22.0 * vmath::log10(d) + 20.0 * vmath::log10(fc)
                 } else {
-                    28.0 + 40.0 * d.log10() + 20.0 * fc.log10()
-                        - 9.0 * (d_bp.powi(2) + (h_bs - h_ut).powi(2)).log10()
+                    28.0 + 40.0 * vmath::log10(d) + 20.0 * vmath::log10(fc)
+                        - 9.0 * vmath::log10(d_bp.powi(2) + (h_bs - h_ut).powi(2))
                 }
             }
             Scenario::UmaNlos => {
                 let los = PathLossModel { scenario: Scenario::UmaLos, ..*self }.loss_db(d);
                 // The −0.6·(h_UT − 1.5) term vanishes at the 1.5 m UE height we model.
-                let nlos = 13.54 + 39.08 * d.log10() + 20.0 * fc.log10();
+                let nlos = 13.54 + 39.08 * vmath::log10(d) + 20.0 * vmath::log10(fc);
                 los.max(nlos)
             }
             Scenario::UmiLos => {
                 let (h_bs, h_ut) = (10.0_f64, 1.5_f64);
                 let d_bp = breakpoint_m(fc, h_bs, h_ut);
                 if d <= d_bp {
-                    32.4 + 21.0 * d.log10() + 20.0 * fc.log10()
+                    32.4 + 21.0 * vmath::log10(d) + 20.0 * vmath::log10(fc)
                 } else {
-                    32.4 + 40.0 * d.log10() + 20.0 * fc.log10()
-                        - 9.5 * (d_bp.powi(2) + (h_bs - h_ut).powi(2)).log10()
+                    32.4 + 40.0 * vmath::log10(d) + 20.0 * vmath::log10(fc)
+                        - 9.5 * vmath::log10(d_bp.powi(2) + (h_bs - h_ut).powi(2))
                 }
             }
             Scenario::UmiNlos => {
                 let los = PathLossModel { scenario: Scenario::UmiLos, ..*self }.loss_db(d);
                 // The −0.3·(h_UT − 1.5) term vanishes at the 1.5 m UE height we model.
-                let nlos = 22.4 + 35.3 * d.log10() + 21.3 * fc.log10();
+                let nlos = 22.4 + 35.3 * vmath::log10(d) + 21.3 * vmath::log10(fc);
                 los.max(nlos)
             }
             Scenario::UmaBlended => {
@@ -126,6 +126,135 @@ fn breakpoint_m(fc_ghz: f64, h_bs: f64, h_ut: f64) -> f64 {
     4.0 * (h_bs - 1.0) * (h_ut - 1.0) * (fc_ghz * 1e9) / c
 }
 
+/// A [`PathLossModel`] with every distance-independent term hoisted.
+///
+/// [`PathLossModel::loss_db`] re-derives `log10(fc)` and the breakpoint
+/// term on every call, and the blended scenarios recurse through their
+/// LOS/NLOS constituents — ~4–7 `log10` evaluations per path-loss query.
+/// A driving UE moves every slot, so that cost lands on the hot path.
+/// The profile precomputes all of it once per (scenario, frequency);
+/// [`PathLossProfile::loss_db`] then needs exactly one `log10(d)` (plus
+/// one `exp` for the blended LOS probability).
+///
+/// Bit-identity with the model is by referential transparency: each
+/// hoisted constant is computed by the very expression the model
+/// evaluates inline, every distance-dependent expression keeps the
+/// model's operand association, and the recursion's repeated
+/// sub-evaluations are deterministic, so collapsing them changes
+/// nothing. `pathloss_profile_props` pins this per scenario across the
+/// frequency/distance space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLossProfile {
+    scenario: Scenario,
+    /// `20·log10(fc)` — the fc term shared by most formulas.
+    fc20: f64,
+    /// `21.3·log10(fc)` — the UMi-NLOS fc term.
+    fc21_3: f64,
+    /// UMa breakpoint distance (25 m BS, 1.5 m UE).
+    uma_d_bp: f64,
+    /// `9·log10(d_bp² + Δh²)` — the UMa above-breakpoint correction.
+    uma_bp_term: f64,
+    /// UMi breakpoint distance (10 m BS, 1.5 m UE).
+    umi_d_bp: f64,
+    /// `9.5·log10(d_bp² + Δh²)` — the UMi above-breakpoint correction.
+    umi_bp_term: f64,
+}
+
+impl PathLossProfile {
+    /// Hoist `model`'s distance-independent terms.
+    pub fn new(model: &PathLossModel) -> Self {
+        let fc = model.frequency_ghz;
+        let (uma_h_bs, uma_h_ut) = (25.0_f64, 1.5_f64);
+        let uma_d_bp = breakpoint_m(fc, uma_h_bs, uma_h_ut);
+        let (umi_h_bs, umi_h_ut) = (10.0_f64, 1.5_f64);
+        let umi_d_bp = breakpoint_m(fc, umi_h_bs, umi_h_ut);
+        PathLossProfile {
+            scenario: model.scenario,
+            fc20: 20.0 * vmath::log10(fc),
+            fc21_3: 21.3 * vmath::log10(fc),
+            uma_d_bp,
+            uma_bp_term: 9.0 * vmath::log10(uma_d_bp.powi(2) + (uma_h_bs - uma_h_ut).powi(2)),
+            umi_d_bp,
+            umi_bp_term: 9.5 * vmath::log10(umi_d_bp.powi(2) + (umi_h_bs - umi_h_ut).powi(2)),
+        }
+    }
+
+    /// Path loss in dB at 3D distance `d3d_m` — bit-identical to
+    /// [`PathLossModel::loss_db`] on the profiled model.
+    #[inline]
+    pub fn loss_db(&self, d3d_m: f64) -> f64 {
+        let d = d3d_m.max(10.0);
+        let ld = vmath::log10(d);
+        self.loss_db_with_log(d, ld)
+    }
+
+    /// [`loss_db`] with the clamped distance and its `log10` supplied by
+    /// the caller — batch paths evaluate the logarithms of many distances
+    /// in one SIMD slice (lane-identical to the scalar `log10`) and
+    /// finish each lane here. `d` must be `d3d_m.max(10.0)` and `ld` its
+    /// base-10 logarithm.
+    ///
+    /// [`loss_db`]: PathLossProfile::loss_db
+    #[inline]
+    pub(crate) fn loss_db_with_log(&self, d: f64, ld: f64) -> f64 {
+        match self.scenario {
+            Scenario::FreeSpace => 32.45 + self.fc20 + 20.0 * ld,
+            Scenario::UmaLos => self.uma_los(d, ld),
+            Scenario::UmaNlos => self.uma_los(d, ld).max(self.uma_nlos_formula(ld)),
+            Scenario::UmiLos => self.umi_los(d, ld),
+            Scenario::UmiNlos => self.umi_los(d, ld).max(self.umi_nlos_formula(ld)),
+            Scenario::UmaBlended => {
+                let p = uma_los_probability(d);
+                let los = self.uma_los(d, ld);
+                let nlos = los.max(self.uma_nlos_formula(ld));
+                p * los + (1.0 - p) * nlos
+            }
+            Scenario::UmiBlended => {
+                let p = umi_los_probability(d);
+                let los = self.umi_los(d, ld);
+                let nlos = los.max(self.umi_nlos_formula(ld));
+                p * los + (1.0 - p) * nlos
+            }
+        }
+    }
+
+    #[inline]
+    fn uma_los(&self, d: f64, ld: f64) -> f64 {
+        if d <= self.uma_d_bp {
+            28.0 + 22.0 * ld + self.fc20
+        } else {
+            28.0 + 40.0 * ld + self.fc20 - self.uma_bp_term
+        }
+    }
+
+    #[inline]
+    fn uma_nlos_formula(&self, ld: f64) -> f64 {
+        13.54 + 39.08 * ld + self.fc20
+    }
+
+    #[inline]
+    fn umi_los(&self, d: f64, ld: f64) -> f64 {
+        if d <= self.umi_d_bp {
+            32.4 + 21.0 * ld + self.fc20
+        } else {
+            32.4 + 40.0 * ld + self.fc20 - self.umi_bp_term
+        }
+    }
+
+    #[inline]
+    fn umi_nlos_formula(&self, ld: f64) -> f64 {
+        22.4 + 35.3 * ld + self.fc21_3
+    }
+}
+
+impl PathLossModel {
+    /// The hoisted fast-path evaluator for this model (see
+    /// [`PathLossProfile`]).
+    pub fn profile(&self) -> PathLossProfile {
+        PathLossProfile::new(self)
+    }
+}
+
 /// UMa LOS probability, TR 38.901 Table 7.4.2-1 (h_UT ≤ 13 m form):
 /// 1 for d ≤ 18 m, else `18/d + exp(−d/63)·(1 − 18/d)`.
 pub fn uma_los_probability(d2d_m: f64) -> f64 {
@@ -133,7 +262,7 @@ pub fn uma_los_probability(d2d_m: f64) -> f64 {
         1.0
     } else {
         let r = 18.0 / d2d_m;
-        r + (-d2d_m / 63.0).exp() * (1.0 - r)
+        r + vmath::exp(-d2d_m / 63.0) * (1.0 - r)
     }
 }
 
@@ -144,13 +273,49 @@ pub fn umi_los_probability(d2d_m: f64) -> f64 {
         1.0
     } else {
         let r = 18.0 / d2d_m;
-        r + (-d2d_m / 36.0).exp() * (1.0 - r)
+        r + vmath::exp(-d2d_m / 36.0) * (1.0 - r)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    const ALL_SCENARIOS: [Scenario; 7] = [
+        Scenario::UmaLos,
+        Scenario::UmaNlos,
+        Scenario::UmiLos,
+        Scenario::UmiNlos,
+        Scenario::UmaBlended,
+        Scenario::UmiBlended,
+        Scenario::FreeSpace,
+    ];
+
+    proptest! {
+        /// The hoisted profile is bit-identical to the recursive model
+        /// for every scenario across the frequency/distance space,
+        /// including the near-field clamp and breakpoint neighbourhoods.
+        #[test]
+        fn pathloss_profile_props(
+            fc in 0.5f64..100.0,
+            d in 0.1f64..5_000.0,
+            bp_wiggle in -0.01f64..0.01,
+        ) {
+            for scen in ALL_SCENARIOS {
+                let model = PathLossModel::new(scen, fc);
+                let profile = model.profile();
+                let bp = breakpoint_m(fc, 25.0, 1.5) * (1.0 + bp_wiggle);
+                for dist in [d, 1.0, 10.0, 18.0, 18.5, bp] {
+                    prop_assert_eq!(
+                        profile.loss_db(dist).to_bits(),
+                        model.loss_db(dist).to_bits(),
+                        "{:?} fc={} d={}", scen, fc, dist
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn loss_increases_with_distance_and_frequency() {

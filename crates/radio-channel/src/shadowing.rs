@@ -36,11 +36,99 @@ impl Default for ShadowingConfig {
     }
 }
 
+/// How many standard-normal draws one [`GaussianTile`] refill computes at
+/// once: 64 uniforms feed one `vmath::gaussian_slice` call, so the SIMD
+/// arms get full lanes and the `ln`/`cos` cost amortises across the tile.
+pub(crate) const GAUSS_TILE: usize = 32;
+
+/// A precomputed tile of standard-normal innovations.
+///
+/// The AR(1) shadowing/fading updates each consume one N(0,1) draw per
+/// slot; computing them one at a time keeps the Box–Muller `ln`/`cos`
+/// scalar. The tile draws the underlying uniforms in exactly the order
+/// the scalar code would (u1 then u2, draw by draw — the RNG stream is
+/// untouched) and converts a whole tile at once through
+/// [`vmath::gaussian_slice`], whose lanes are bit-identical to
+/// [`vmath::gaussian_pair`]. Result: the value stream is byte-equal to
+/// point-of-use scalar draws, only cheaper and in bursts.
+#[derive(Debug, Clone)]
+pub(crate) struct GaussianTile {
+    buf: [f64; GAUSS_TILE],
+    /// Next unread index; `== len` means empty.
+    pos: usize,
+    len: usize,
+}
+
+impl GaussianTile {
+    pub(crate) fn new() -> Self {
+        GaussianTile { buf: [0.0; GAUSS_TILE], pos: 0, len: 0 }
+    }
+
+    /// Next innovation, refilling the tile from `rng` when drained.
+    pub(crate) fn next_batched(&mut self, rng: &mut ChaCha12Rng) -> f64 {
+        if self.pos == self.len {
+            let mut u1 = [0.0; GAUSS_TILE];
+            let mut u2 = [0.0; GAUSS_TILE];
+            for i in 0..GAUSS_TILE {
+                u1[i] = rng.gen_range(f64::EPSILON..1.0);
+                u2[i] = rng.gen_range(0.0..1.0);
+            }
+            vmath::gaussian_slice(&u1, &u2, &mut self.buf);
+            self.pos = 0;
+            self.len = GAUSS_TILE;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Point-of-use scalar draw — the pre-optimisation reference path.
+    /// Drains any tile the batched path prefetched first, so mixing the
+    /// two on one process cannot skip or reorder RNG draws.
+    pub(crate) fn next_unbatched(&mut self, rng: &mut ChaCha12Rng) -> f64 {
+        if self.pos < self.len {
+            let v = self.buf[self.pos];
+            self.pos += 1;
+            return v;
+        }
+        gaussian(rng)
+    }
+
+    /// Refill if drained and return how many prefetched draws remain.
+    /// Lookahead runs size themselves off this so a whole run always
+    /// comes from one contiguous tile stretch — which is what makes
+    /// [`GaussianTile::rewind`] possible at all.
+    pub(crate) fn ensure_prefetched(&mut self, rng: &mut ChaCha12Rng) -> usize {
+        if self.pos == self.len {
+            let _ = self.next_batched(rng);
+            self.pos -= 1;
+        }
+        self.len - self.pos
+    }
+
+    /// Take the next prefetched draw. Caller must have checked capacity
+    /// via [`GaussianTile::ensure_prefetched`].
+    pub(crate) fn take(&mut self) -> f64 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Un-consume the last `n` draws of a speculative run: they stay in
+    /// the buffer, so the next consumer (batched or unbatched) sees the
+    /// exact same values in the exact same order.
+    pub(crate) fn rewind(&mut self, n: usize) {
+        debug_assert!(n <= self.pos, "rewinding draws that were never taken");
+        self.pos -= n;
+    }
+}
+
 /// The evolving shadowing state of one UE–site link.
 #[derive(Debug, Clone)]
 pub struct ShadowingProcess {
     config: ShadowingConfig,
     rng: ChaCha12Rng,
+    tile: GaussianTile,
     current_db: f64,
     /// Memoised step distance of the last advance. Slot loops advance by a
     /// constant distance (speed × slot), so `exp`/`sqrt` below hit this
@@ -61,6 +149,7 @@ impl ShadowingProcess {
         ShadowingProcess {
             config,
             rng,
+            tile: GaussianTile::new(),
             current_db,
             memo_delta_m: f64::NAN,
             memo_rho: f64::NAN,
@@ -81,12 +170,12 @@ impl ShadowingProcess {
     pub fn advance(&mut self, delta_m: f64) -> f64 {
         if delta_m > 0.0 {
             if delta_m != self.memo_delta_m {
-                let rho = (-delta_m / self.config.decorrelation_m).exp();
+                let rho = vmath::exp(-delta_m / self.config.decorrelation_m);
                 self.memo_delta_m = delta_m;
                 self.memo_rho = rho;
                 self.memo_decay = (1.0 - rho * rho).sqrt();
             }
-            let innovation = gaussian(&mut self.rng) * self.config.sigma_db;
+            let innovation = self.tile.next_batched(&mut self.rng) * self.config.sigma_db;
             self.current_db = self.memo_rho * self.current_db + self.memo_decay * innovation;
         }
         self.current_db
@@ -100,6 +189,73 @@ impl ShadowingProcess {
         self.advance(effective)
     }
 
+    /// How many slots a lookahead run may advance without crossing a tile
+    /// refill boundary (refilling first if the tile is drained).
+    pub(crate) fn lookahead_capacity(&mut self) -> usize {
+        self.tile.ensure_prefetched(&mut self.rng)
+    }
+
+    /// Advance `out.len()` slots of [`advance_with_time`] at once,
+    /// recording the state after each slot. Caller must bound `out.len()`
+    /// by [`lookahead_capacity`]. Bit-identical to `out.len()` sequential
+    /// calls: same memo update, same draw order, same float expressions.
+    ///
+    /// [`advance_with_time`]: ShadowingProcess::advance_with_time
+    /// [`lookahead_capacity`]: ShadowingProcess::lookahead_capacity
+    pub(crate) fn advance_lookahead(&mut self, delta_m: f64, dt_s: f64, out: &mut [f64]) {
+        let effective = delta_m.max(self.config.env_speed_mps * dt_s);
+        if effective > 0.0 {
+            if effective != self.memo_delta_m {
+                let rho = vmath::exp(-effective / self.config.decorrelation_m);
+                self.memo_delta_m = effective;
+                self.memo_rho = rho;
+                self.memo_decay = (1.0 - rho * rho).sqrt();
+            }
+            for o in out.iter_mut() {
+                let innovation = self.tile.take() * self.config.sigma_db;
+                self.current_db = self.memo_rho * self.current_db + self.memo_decay * innovation;
+                *o = self.current_db;
+            }
+        } else {
+            out.fill(self.current_db);
+        }
+    }
+
+    /// The per-slot-delta variant of [`advance_lookahead`] for moving
+    /// lookahead runs: slot `b` advances by `moved[b]` metres. Caller
+    /// must ensure every slot consumes a draw (each `moved[b]` positive,
+    /// or environment churn enabled) so a rewind can account draws as
+    /// one-per-slot, and must bound the length by [`lookahead_capacity`].
+    ///
+    /// [`advance_lookahead`]: ShadowingProcess::advance_lookahead
+    /// [`lookahead_capacity`]: ShadowingProcess::lookahead_capacity
+    pub(crate) fn advance_lookahead_path(&mut self, moved: &[f64], dt_s: f64, out: &mut [f64]) {
+        let env_m = self.config.env_speed_mps * dt_s;
+        for (o, &delta_m) in out.iter_mut().zip(moved.iter()) {
+            let effective = delta_m.max(env_m);
+            debug_assert!(effective > 0.0, "moving lookahead slot consumes no draw");
+            if effective != self.memo_delta_m {
+                let rho = vmath::exp(-effective / self.config.decorrelation_m);
+                self.memo_delta_m = effective;
+                self.memo_rho = rho;
+                self.memo_decay = (1.0 - rho * rho).sqrt();
+            }
+            let innovation = self.tile.take() * self.config.sigma_db;
+            self.current_db = self.memo_rho * self.current_db + self.memo_decay * innovation;
+            *o = self.current_db;
+        }
+    }
+
+    /// Roll back the last `n` slots of a lookahead run: restore
+    /// `state_db` (the state after the last slot actually consumed) and
+    /// return the `n` unused innovations to the tile. Only valid when the
+    /// run consumed draws (`effective > 0`); a zero-movement lookahead
+    /// has nothing to rewind.
+    pub(crate) fn rewind_lookahead(&mut self, n: usize, state_db: f64) {
+        self.tile.rewind(n);
+        self.current_db = state_db;
+    }
+
     /// The pre-optimisation [`advance`]: recomputes `exp`/`sqrt` every
     /// call instead of memoising them. Bit-identical to [`advance`] (same
     /// expressions, same RNG draws); kept as the reference the
@@ -108,8 +264,8 @@ impl ShadowingProcess {
     /// [`advance`]: ShadowingProcess::advance
     pub fn advance_uncached(&mut self, delta_m: f64) -> f64 {
         if delta_m > 0.0 {
-            let rho = (-delta_m / self.config.decorrelation_m).exp();
-            let innovation = gaussian(&mut self.rng) * self.config.sigma_db;
+            let rho = vmath::exp(-delta_m / self.config.decorrelation_m);
+            let innovation = self.tile.next_unbatched(&mut self.rng) * self.config.sigma_db;
             self.current_db = rho * self.current_db + (1.0 - rho * rho).sqrt() * innovation;
         }
         self.current_db
@@ -127,10 +283,12 @@ impl ShadowingProcess {
 
 /// A standard normal draw via Box-Muller (two uniforms; we discard the
 /// second value for simplicity — this code is not hot enough to matter).
+/// Evaluated through the `vmath` kernels so a single draw is
+/// bit-identical to the corresponding lane of a [`GaussianTile`] refill.
 pub(crate) fn gaussian(rng: &mut ChaCha12Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    vmath::gaussian_pair(u1, u2)
 }
 
 #[cfg(test)]
@@ -201,6 +359,44 @@ mod tests {
         let mut b = process(6.0, 37.0);
         for _ in 0..50 {
             assert_eq!(a.advance(5.0), b.advance(5.0));
+        }
+    }
+
+    #[test]
+    fn tile_stream_matches_scalar_draws() {
+        use rand::SeedableRng;
+        let mut rng_batched = ChaCha12Rng::seed_from_u64(77);
+        let mut rng_scalar = ChaCha12Rng::seed_from_u64(77);
+        let mut tile = GaussianTile::new();
+        for i in 0..(GAUSS_TILE * 5 + 3) {
+            assert_eq!(
+                tile.next_batched(&mut rng_batched).to_bits(),
+                gaussian(&mut rng_scalar).to_bits(),
+                "draw {i} diverged from the point-of-use scalar draw"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_process_matches_unbatched_reference() {
+        // The production (tile-prefetching) path and the uncached
+        // reference path realise the same process byte-for-byte.
+        let mut batched = process(6.0, 37.0);
+        let mut reference = process(6.0, 37.0);
+        for i in 0..150 {
+            assert_eq!(
+                batched.advance(5.0).to_bits(),
+                reference.advance_uncached(5.0).to_bits(),
+                "step {i}"
+            );
+        }
+        // Mixing the two paths on ONE process must not skip or reorder
+        // RNG draws: the unbatched path drains the prefetched tile first.
+        let mut mixed = process(6.0, 37.0);
+        let mut pure = process(6.0, 37.0);
+        for i in 0..150 {
+            let v = if i % 3 == 0 { mixed.advance_uncached(5.0) } else { mixed.advance(5.0) };
+            assert_eq!(v.to_bits(), pure.advance(5.0).to_bits(), "mixed step {i}");
         }
     }
 }

@@ -18,12 +18,12 @@ pub const THERMAL_NOISE_DBM_HZ: f64 = -174.0;
 
 /// Convert dBm to milliwatts.
 pub fn dbm_to_mw(dbm: f64) -> f64 {
-    10f64.powf(dbm / 10.0)
+    vmath::pow10(dbm / 10.0)
 }
 
 /// Convert milliwatts to dBm; −∞ guards map to a very small floor.
 pub fn mw_to_dbm(mw: f64) -> f64 {
-    10.0 * mw.max(1e-30).log10()
+    10.0 * vmath::log10(mw.max(1e-30))
 }
 
 /// Static configuration of the measurement arithmetic for one carrier.
@@ -66,14 +66,14 @@ impl SignalConfig {
     /// Noise power per resource element, dBm.
     pub fn noise_per_re_dbm(&self) -> f64 {
         THERMAL_NOISE_DBM_HZ
-            + 10.0 * (self.scs_khz as f64 * 1e3).log10()
+            + 10.0 * vmath::log10(self.scs_khz as f64 * 1e3)
             + self.noise_figure_db
     }
 
     /// Per-RE transmit power of a site whose total carrier power is
     /// `tx_power_dbm`, assuming equal power over `n_rb · 12` sub-carriers.
     pub fn tx_per_re_dbm(&self, tx_power_dbm: f64) -> f64 {
-        tx_power_dbm - 10.0 * (self.n_rb as f64 * 12.0).log10()
+        tx_power_dbm - 10.0 * vmath::log10(self.n_rb as f64 * 12.0)
     }
 
     /// Precompute the linear-domain constants of
@@ -142,12 +142,27 @@ impl RadioMeasurement {
         let rsrp_dbm = serving_re_dbm;
         // RSSI over one RB's 12 REs: serving load + neighbour load + noise.
         let rssi_per_re = config.serving_load * s + i + n;
-        let rssi_dbm = mw_to_dbm(rssi_per_re * 12.0 * config.n_rb as f64);
-        // RSRQ = N · RSRP / RSSI.
-        let rsrq_db = 10.0 * (config.n_rb as f64 * s / (rssi_per_re * 12.0 * config.n_rb as f64))
-            .log10();
-        let sinr_db = 10.0 * (s / (i + n)).log10();
-        RadioMeasurement { rsrp_dbm, rssi_dbm, rsrq_db, sinr_db }
+        // The three dB conversions are one 4-lane `log10` batch (fourth
+        // lane padded with 1.0): `vmath` lanes are bit-identical to its
+        // scalar calls, so this produces exactly the floats the three
+        // per-value `mw_to_dbm`/`log10` calls did — it only evaluates
+        // them in one vector pass instead of three scalar ones.
+        let args = [
+            // `mw_to_dbm`'s −∞ guard, applied before the batch.
+            (rssi_per_re * 12.0 * config.n_rb as f64).max(1e-30),
+            // RSRQ = N · RSRP / RSSI.
+            config.n_rb as f64 * s / (rssi_per_re * 12.0 * config.n_rb as f64),
+            s / (i + n),
+            1.0,
+        ];
+        let mut logs = [0.0f64; 4];
+        vmath::log10_slice(&args, &mut logs);
+        RadioMeasurement {
+            rsrp_dbm,
+            rssi_dbm: 10.0 * logs[0],
+            rsrq_db: 10.0 * logs[1],
+            sinr_db: 10.0 * logs[2],
+        }
     }
 
     /// The paper's §2 scouting rule: RSRP > −90 dBm *and* RSRQ > −12 dB.

@@ -49,7 +49,8 @@ use crate::harq::{HarqConfig, HarqEntity};
 use crate::kpi::{Direction, KpiTrace, SlotKpi};
 use crate::scheduler::{self, SchedulerPolicy};
 use crate::traffic::{TrafficSource, TrafficState};
-use nr_phy::csi::DEFAULT_CSI_PERIOD_SLOTS;
+use nr_phy::cqi::Cqi;
+use nr_phy::csi::{CsiReport, DEFAULT_CSI_PERIOD_SLOTS};
 use nr_phy::tbs::TbsCache;
 use obs::audit::{self, Invariant};
 use obs::Counter;
@@ -191,6 +192,15 @@ struct MetricDeltas {
     block_errors: u64,
     delivered_bits: u64,
 }
+
+/// UEs swept per fused phase-2+3 chunk. Phases 2 and 3 are per-UE
+/// independent once the slot's grants are fixed, so the sweep fuses them
+/// over small chunks: a UE's channel state, traffic queues and AMC column
+/// are still cache-resident when its transmit leg runs (sweeping the whole
+/// user set in phase 2 before returning to UE 0 evicted all of it at
+/// ~10k UEs). The chunk is also the SIMD batch for the CSI-slot CQI
+/// evaluation — 8 lanes fill two AVX2 vectors.
+const UE_CHUNK: usize = 8;
 
 /// N UEs contending for one cell's RBs, stepped slot by slot.
 ///
@@ -362,93 +372,118 @@ impl CellSim {
         // Phase 1 — schedule on the CSI the gNB already holds.
         self.schedule(slot, auditing);
 
-        // Phase 2 — channel evolution and UE-side reporting.
-        self.ch.clear();
-        for i in 0..n {
-            if slot == 0 {
-                // Co-located UEs adopt the first occupant's large-scale
-                // cache; later slots hit each UE's own cache.
-                let leader = self.spot_leader[i] as usize;
-                if leader < i {
-                    let (head, tail) = self.channels.split_at_mut(i);
-                    tail[0].prime_cache_from(&head[leader]);
-                }
-            }
-            let ch = self.channels[i].step_at(self.positions[i], 0.0);
-            self.dl_traffic[i].arrive(slot_s);
-            self.ul_traffic[i].arrive(slot_s);
-            self.ewma_sinr_db[i] = 0.9 * self.ewma_sinr_db[i] + 0.1 * ch.sinr_db;
-            if slot.is_multiple_of(self.csi_period) {
-                let csi =
-                    AmcState::make_csi(&self.params.link, self.ewma_sinr_db[i], self.prev_rank[i]);
-                self.prev_rank[i] = csi.ri;
-                self.amc[i].update_csi(csi);
-                self.gnb_cqi[i] = csi.cqi.value();
-            }
-            if auditing {
-                audit::check(Invariant::CqiRange, self.gnb_cqi[i] <= 15);
-            }
-            self.ch.push(ch);
-        }
-
-        // Phase 3 — transmit per grant, stream records, update PF state.
+        // Phases 2 and 3, fused over UE chunks. Given the slot's grants
+        // every per-UE column is independent across UEs, so running a
+        // chunk's transmit legs right after its channel sweep changes no
+        // value, only cache behaviour — and records still leave in UE
+        // index order, DL before UL, exactly as the module contract says.
+        let csi_slot = slot.is_multiple_of(self.csi_period);
         let ul_capable = self.params.cell.ul_symbols(slot) > 0;
         let mut deltas = MetricDeltas::default();
-        for i in 0..n {
-            let cqi = self.gnb_cqi[i];
-            let ch = self.ch[i];
-            let dl = if self.params.traffic.dl
-                && self.dl_traffic[i].has_data()
-                && self.dl_prbs[i] > 0
-            {
-                dl_transmit(
-                    &self.params,
-                    &mut self.tbs_cache,
-                    &mut self.amc[i],
-                    &mut self.dl_harq[i],
-                    &mut self.dl_traffic[i],
-                    &mut self.bler_rng[i],
-                    &mut deltas,
-                    slot,
-                    time_s,
-                    cqi,
-                    &ch,
-                    self.dl_prbs[i],
-                    auditing,
-                )
-            } else {
-                idle(slot, time_s, Direction::Dl, cqi, &ch)
-            };
-            sink.push(i as u32, &dl);
-            if ul_capable {
-                let ul = if self.params.traffic.ul
-                    && self.ul_traffic[i].has_data()
-                    && self.ul_prbs[i] > 0
+        let mut cqi_buf = [Cqi::saturating(0); UE_CHUNK];
+        let mut start = 0;
+        while start < n {
+            let end = (start + UE_CHUNK).min(n);
+
+            // Phase 2 — channel evolution and UE-side reporting.
+            self.ch.clear();
+            for i in start..end {
+                if slot == 0 {
+                    // Co-located UEs adopt the first occupant's large-scale
+                    // cache; later slots hit each UE's own cache.
+                    let leader = self.spot_leader[i] as usize;
+                    if leader < i {
+                        let (head, tail) = self.channels.split_at_mut(i);
+                        tail[0].prime_cache_from(&head[leader]);
+                    }
+                }
+                let ch = self.channels[i].step_at(self.positions[i], 0.0);
+                self.dl_traffic[i].arrive(slot_s);
+                self.ul_traffic[i].arrive(slot_s);
+                self.ewma_sinr_db[i] = 0.9 * self.ewma_sinr_db[i] + 0.1 * ch.sinr_db;
+                self.ch.push(ch);
+            }
+            if csi_slot {
+                // One SIMD CQI evaluation for the whole chunk (bit-identical
+                // to the scalar `AmcState::make_csi` per UE); rank stays
+                // scalar — it threads per-UE hysteresis state.
+                self.params
+                    .link
+                    .cqi_batch(&self.ewma_sinr_db[start..end], &mut cqi_buf[..end - start]);
+                for i in start..end {
+                    let cqi = cqi_buf[i - start];
+                    let ri =
+                        self.params.link.rank(self.ewma_sinr_db[i], self.prev_rank[i]);
+                    let csi = CsiReport::new(ri, 0, cqi, 0);
+                    self.prev_rank[i] = ri;
+                    self.amc[i].update_csi(csi);
+                    self.gnb_cqi[i] = csi.cqi.value();
+                }
+            }
+            if auditing {
+                for i in start..end {
+                    audit::check(Invariant::CqiRange, self.gnb_cqi[i] <= 15);
+                }
+            }
+
+            // Phase 3 — transmit per grant, stream records, update PF state.
+            for i in start..end {
+                let cqi = self.gnb_cqi[i];
+                let ch = self.ch[i - start];
+                let dl = if self.params.traffic.dl
+                    && self.dl_traffic[i].has_data()
+                    && self.dl_prbs[i] > 0
                 {
-                    ul_transmit(
+                    dl_transmit(
                         &self.params,
                         &mut self.tbs_cache,
                         &mut self.amc[i],
-                        &mut self.ul_harq[i],
-                        &mut self.ul_traffic[i],
+                        &mut self.dl_harq[i],
+                        &mut self.dl_traffic[i],
                         &mut self.bler_rng[i],
                         &mut deltas,
                         slot,
                         time_s,
                         cqi,
                         &ch,
-                        self.ul_prbs[i],
+                        self.dl_prbs[i],
                         auditing,
                     )
                 } else {
-                    idle(slot, time_s, Direction::Ul, cqi, &ch)
+                    idle(slot, time_s, Direction::Dl, cqi, &ch)
                 };
-                sink.push(i as u32, &ul);
+                sink.push(i as u32, &dl);
+                if ul_capable {
+                    let ul = if self.params.traffic.ul
+                        && self.ul_traffic[i].has_data()
+                        && self.ul_prbs[i] > 0
+                    {
+                        ul_transmit(
+                            &self.params,
+                            &mut self.tbs_cache,
+                            &mut self.amc[i],
+                            &mut self.ul_harq[i],
+                            &mut self.ul_traffic[i],
+                            &mut self.bler_rng[i],
+                            &mut deltas,
+                            slot,
+                            time_s,
+                            cqi,
+                            &ch,
+                            self.ul_prbs[i],
+                            auditing,
+                        )
+                    } else {
+                        idle(slot, time_s, Direction::Ul, cqi, &ch)
+                    };
+                    sink.push(i as u32, &ul);
+                }
+                // PF bookkeeping: the long-term average tracks delivered DL
+                // bits for every UE every slot (idle slots decay it), exactly
+                // as the legacy MultiUeSim did.
+                self.avg_rate[i] = 0.999 * self.avg_rate[i] + 0.001 * f64::from(dl.delivered_bits);
             }
-            // PF bookkeeping: the long-term average tracks delivered DL
-            // bits for every UE every slot (idle slots decay it), exactly
-            // as the legacy MultiUeSim did.
-            self.avg_rate[i] = 0.999 * self.avg_rate[i] + 0.001 * f64::from(dl.delivered_bits);
+            start = end;
         }
         self.metrics.slots.add(n as u64);
         self.metrics.retx.add(deltas.retx);
