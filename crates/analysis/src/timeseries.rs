@@ -25,24 +25,59 @@ impl Resampled {
     }
 }
 
+/// Number of bins of the `(bin_s, duration_s)` grid, or `None` when the
+/// grid is degenerate: non-finite or non-positive `bin_s`, non-finite
+/// `duration_s`, or a `duration/bin` ratio that overflows to infinity.
+/// Before this guard, `(duration_s / bin_s).ceil() as usize` on any of
+/// those inputs saturated to `usize::MAX` and the subsequent
+/// `vec![0.0; n_bins]` aborted the process — a latent crash any
+/// long-running daemon feeding live durations would eventually trip.
+/// Degenerate grids are counted (`timeseries.degenerate_grids`, plus an
+/// audit violation under `MIDBAND5G_AUDIT`) and the resamplers return an
+/// empty series instead.
+fn grid_bins(bin_s: f64, duration_s: f64) -> Option<usize> {
+    let ratio = duration_s / bin_s;
+    if !bin_s.is_finite() || bin_s <= 0.0 || !duration_s.is_finite() || !ratio.is_finite() {
+        obs::registry().counter("timeseries.degenerate_grids").inc();
+        if audit::enabled() {
+            audit::check(Invariant::ResampleGridDegenerate, false);
+        }
+        return None;
+    }
+    Some(ratio.ceil().max(0.0) as usize)
+}
+
 /// Average of samples per bin; empty bins repeat the previous bin's value
 /// (sample-and-hold, as a plotted KPI line would). Bins *before* the
 /// first sample are backfilled with the first real bin's value — seeding
 /// the hold with 0.0 would fabricate a zero-KPI ramp at the start of
 /// every trace whose first sample lands after bin 0. All-empty input
-/// still yields zeros. Samples with non-finite timestamps are dropped.
+/// still yields zeros. Samples with non-finite timestamps *or values*
+/// are dropped (dropped values are counted under
+/// `timeseries.nonfinite_values`): one NaN-corrupted sample — exactly
+/// what `measure::fault` injects — would otherwise poison its bin's sum
+/// and then every later bin through the hold. A degenerate grid (see
+/// [`bin_counts`]) yields an empty series.
 pub fn bin_average(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resampled {
-    let n_bins = (duration_s / bin_s).ceil().max(0.0) as usize;
+    let Some(n_bins) = grid_bins(bin_s, duration_s) else {
+        return Resampled { bin_s, values: Vec::new() };
+    };
     let mut sums = vec![0.0; n_bins];
     let mut counts = vec![0u32; n_bins];
+    let mut nonfinite = 0u64;
     for &(t, v) in samples {
         if !t.is_finite() || t < 0.0 || n_bins == 0 {
+            continue;
+        }
+        if !v.is_finite() {
+            nonfinite += 1;
             continue;
         }
         let b = ((t / bin_s) as usize).min(n_bins - 1);
         sums[b] += v;
         counts[b] += 1;
     }
+    count_nonfinite(nonfinite);
     let first_value = (0..n_bins)
         .find(|&b| counts[b] > 0)
         .map_or(0.0, |b| sums[b] / f64::from(counts[b]));
@@ -54,25 +89,43 @@ pub fn bin_average(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resam
         }
         values.push(last);
     }
-    audit_resample_len(&values, bin_s, duration_s);
+    audit_resample_len(&values, n_bins);
     Resampled { bin_s, values }
 }
 
 /// Sum of samples per bin divided by the bin width — turning per-slot bit
-/// counts into a rate series (bits/s when the samples are bits).
+/// counts into a rate series (bits/s when the samples are bits). Applies
+/// the same sample-dropping rules as [`bin_average`] (non-finite
+/// timestamps and values skipped, degenerate grids empty).
 pub fn bin_sum(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resampled {
-    let n_bins = (duration_s / bin_s).ceil().max(0.0) as usize;
+    let Some(n_bins) = grid_bins(bin_s, duration_s) else {
+        return Resampled { bin_s, values: Vec::new() };
+    };
     let mut sums = vec![0.0; n_bins];
+    let mut nonfinite = 0u64;
     for &(t, v) in samples {
         if !t.is_finite() || t < 0.0 || n_bins == 0 {
+            continue;
+        }
+        if !v.is_finite() {
+            nonfinite += 1;
             continue;
         }
         let b = ((t / bin_s) as usize).min(n_bins - 1);
         sums[b] += v;
     }
+    count_nonfinite(nonfinite);
     let values: Vec<f64> = sums.into_iter().map(|s| s / bin_s).collect();
-    audit_resample_len(&values, bin_s, duration_s);
+    audit_resample_len(&values, n_bins);
     Resampled { bin_s, values }
+}
+
+/// Bump `timeseries.nonfinite_values` by the number of value-dropped
+/// samples (one registry lookup per call, none when nothing was dropped).
+fn count_nonfinite(n: u64) {
+    if n > 0 {
+        obs::registry().counter("timeseries.nonfinite_values").add(n);
+    }
 }
 
 /// Samples landing in each bin of the grid that [`bin_average`] /
@@ -82,10 +135,12 @@ pub fn bin_sum(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resampled
 /// which merely held the previous value. Uses the same clamping/dropping
 /// rules as the resamplers, so indices line up one-to-one.
 pub fn bin_counts(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Vec<u64> {
-    let n_bins = (duration_s / bin_s).ceil().max(0.0) as usize;
+    let Some(n_bins) = grid_bins(bin_s, duration_s) else {
+        return Vec::new();
+    };
     let mut counts = vec![0u64; n_bins];
-    for &(t, _) in samples {
-        if !t.is_finite() || t < 0.0 || n_bins == 0 {
+    for &(t, v) in samples {
+        if !t.is_finite() || t < 0.0 || !v.is_finite() || n_bins == 0 {
             continue;
         }
         let b = ((t / bin_s) as usize).min(n_bins - 1);
@@ -109,11 +164,10 @@ pub fn bin_coverage(samples: &[(f64, f64)], bin_s: f64, duration_s: f64) -> Resa
 }
 
 /// Count every resample and, under `MIDBAND5G_AUDIT`, verify the output
-/// grid has exactly `ceil(duration/bin)` bins.
-fn audit_resample_len(values: &[f64], bin_s: f64, duration_s: f64) {
+/// grid has exactly the `ceil(duration/bin)` bins [`grid_bins`] computed.
+fn audit_resample_len(values: &[f64], expected: usize) {
     obs::registry().counter("timeseries.resamples").inc();
     if audit::enabled() {
-        let expected = (duration_s / bin_s).ceil().max(0.0) as usize;
         audit::check(Invariant::ResampleLength, values.len() == expected);
     }
 }
@@ -210,5 +264,70 @@ mod tests {
     fn zero_duration_is_empty() {
         assert!(bin_average(&[], 0.5, 0.0).values.is_empty());
         assert!(bin_sum(&[], 0.5, 0.0).values.is_empty());
+    }
+
+    #[test]
+    fn degenerate_grids_return_empty_instead_of_aborting() {
+        // Regression: each of these previously computed
+        // `(duration/bin).ceil() as usize == usize::MAX` and aborted the
+        // process inside `vec![0.0; n_bins]`.
+        let samples = vec![(0.1, 5.0)];
+        let before = obs::registry().counter("timeseries.degenerate_grids").get();
+        let degenerate: &[(f64, f64)] = &[
+            (0.0, 1.0),                 // bin_s == 0
+            (-0.5, 1.0),                // bin_s < 0
+            (f64::NAN, 1.0),            // NaN bin
+            (f64::INFINITY, 1.0),       // infinite bin
+            (1.0, f64::NAN),            // NaN duration
+            (1.0, f64::INFINITY),       // infinite duration
+            (1e-300, 1e300),            // finite inputs, ratio overflows
+        ];
+        for &(bin_s, duration_s) in degenerate {
+            assert!(bin_average(&samples, bin_s, duration_s).values.is_empty());
+            assert!(bin_sum(&samples, bin_s, duration_s).values.is_empty());
+            assert!(bin_counts(&samples, bin_s, duration_s).is_empty());
+            assert!(bin_coverage(&samples, bin_s, duration_s).values.is_empty());
+        }
+        let counted = obs::registry().counter("timeseries.degenerate_grids").get() - before;
+        // 4 entry points x 7 degenerate grids (bin_coverage routes
+        // through bin_counts, so it counts once per call).
+        assert_eq!(counted, 4 * 7);
+    }
+
+    #[test]
+    fn degenerate_grid_counts_an_audit_violation() {
+        use obs::audit::{self, Invariant};
+        let was_enabled = audit::enabled();
+        audit::set_enabled(true);
+        let before = audit::count(Invariant::ResampleGridDegenerate);
+        bin_average(&[], f64::NAN, 1.0);
+        assert_eq!(audit::count(Invariant::ResampleGridDegenerate), before + 1);
+        audit::set_enabled(was_enabled);
+    }
+
+    #[test]
+    fn non_finite_values_are_skipped_not_propagated() {
+        // Regression: a single NaN value used to turn its bin's sum into
+        // NaN, and the sample-and-hold then poisoned every later bin.
+        let before = obs::registry().counter("timeseries.nonfinite_values").get();
+        let samples = vec![
+            (0.1, 10.0),
+            (0.2, f64::NAN),      // corrupted sample in bin 0
+            (0.6, f64::INFINITY), // bin 1 has only non-finite values
+            (1.1, 30.0),
+            (1.2, f64::NEG_INFINITY),
+        ];
+        let avg = bin_average(&samples, 0.5, 1.5);
+        // Bin 0 averages the surviving sample; bin 1 is effectively
+        // empty and holds; bin 2 averages its surviving sample.
+        assert_eq!(avg.values, vec![10.0, 10.0, 30.0]);
+        assert!(avg.values.iter().all(|v| v.is_finite()));
+        let sum = bin_sum(&samples, 0.5, 1.5);
+        assert_eq!(sum.values, vec![20.0, 0.0, 60.0]);
+        // The skipped samples are visible in the counter and invisible
+        // in the coverage grid (same dropping rules).
+        let dropped = obs::registry().counter("timeseries.nonfinite_values").get() - before;
+        assert_eq!(dropped, 6); // 3 per resampler call
+        assert_eq!(bin_counts(&samples, 0.5, 1.5), vec![1, 0, 1]);
     }
 }

@@ -1,0 +1,115 @@
+//! `midband5g-d` — the live telemetry daemon.
+//!
+//! Runs campaign waves continuously and serves the tiered KPI store
+//! over a Unix-domain socket until a client sends `Shutdown` (e.g.
+//! `midband5g-top --shutdown`).
+//!
+//! ```text
+//! midband5g-d [--socket PATH] [--operators V_Sp,O_Fr] [--sessions N]
+//!             [--duration SECS] [--seed N] [--threads N] [--waves N]
+//!             [--tick-ms N]
+//! ```
+
+use daemon::{DaemonConfig, RetentionConfig};
+use operators::Operator;
+
+fn main() {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("midband5g-d: {e}");
+            std::process::exit(2);
+        }
+    };
+    if std::env::var("MIDBAND5G_AUDIT").map(|v| v == "1").unwrap_or(false) {
+        obs::audit::set_enabled(true);
+    }
+    eprintln!(
+        "midband5g-d: serving on {} ({} operators, {} x {:.0}s sessions/wave, {} threads)",
+        config.socket_path.display(),
+        config.operators.len(),
+        config.sessions_per_operator,
+        config.session_duration_s,
+        config.threads,
+    );
+    match daemon::start(config) {
+        Ok(handle) => handle.join(),
+        Err(e) => {
+            eprintln!("midband5g-d: failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--socket" => config.socket_path = value("--socket")?.into(),
+            "--operators" => {
+                let list = value("--operators")?;
+                config.operators = list
+                    .split(',')
+                    .map(parse_operator)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if config.operators.is_empty() {
+                    return Err("--operators list is empty".to_string());
+                }
+            }
+            "--sessions" => config.sessions_per_operator = parse_num(&value("--sessions")?)?,
+            "--duration" => {
+                config.session_duration_s = value("--duration")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--duration: {e}"))?;
+                if config.session_duration_s <= 0.0 || !config.session_duration_s.is_finite() {
+                    return Err("--duration must be a positive number".to_string());
+                }
+            }
+            "--seed" => config.base_seed = parse_num(&value("--seed")?)?,
+            "--threads" => config.threads = parse_num::<usize>(&value("--threads")?)?.max(1),
+            "--waves" => config.waves = Some(parse_num(&value("--waves")?)?),
+            "--tick-ms" => config.tick_ms = parse_num::<u64>(&value("--tick-ms")?)?.max(1),
+            "--raw-capacity" => {
+                config.retention =
+                    RetentionConfig { raw_capacity: parse_num(&value("--raw-capacity")?)?, ..config.retention }
+            }
+            "--help" | "-h" => {
+                return Err("usage: midband5g-d [--socket PATH] [--operators A,B] \
+                            [--sessions N] [--duration SECS] [--seed N] [--threads N] \
+                            [--waves N] [--tick-ms N] [--raw-capacity N]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(config)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("{s:?}: {e}"))
+}
+
+/// Look an operator up by its acronym (case-insensitive).
+fn parse_operator(s: &str) -> Result<Operator, String> {
+    Operator::ALL_MIDBAND
+        .iter()
+        .copied()
+        .find(|op| op.acronym().eq_ignore_ascii_case(s.trim()))
+        .ok_or_else(|| {
+            format!(
+                "unknown operator {s:?}; known: {}",
+                Operator::ALL_MIDBAND
+                    .iter()
+                    .map(|op| op.acronym())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}

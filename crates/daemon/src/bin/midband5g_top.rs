@@ -1,0 +1,186 @@
+//! `midband5g-top` — plain-text live view of a running `midband5g-d`.
+//!
+//! Connects to the daemon's bus socket each refresh, pulls the latest
+//! snapshot, the second-tier tail of every metric and the recent
+//! session log, and redraws with a bare ANSI clear — no TUI
+//! dependencies.
+//!
+//! ```text
+//! midband5g-top [--socket PATH] [--interval-ms N] [--iterations N]
+//!               [--tier raw|seconds|minutes] [--shutdown]
+//! ```
+//!
+//! `--iterations 0` (the default) refreshes until interrupted;
+//! `--shutdown` sends a single `Shutdown` request and exits.
+
+use daemon::proto::{Request, Response, Tier};
+use daemon::request_once;
+use std::path::PathBuf;
+
+struct TopConfig {
+    socket: PathBuf,
+    interval_ms: u64,
+    iterations: u64,
+    tier: Tier,
+    shutdown: bool,
+}
+
+fn main() {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("midband5g-top: {e}");
+            std::process::exit(2);
+        }
+    };
+    if config.shutdown {
+        match request_once(&config.socket, &Request::Shutdown) {
+            Ok(Response::ShuttingDown) => println!("daemon shutting down"),
+            Ok(other) => eprintln!("unexpected reply: {other:?}"),
+            Err(e) => {
+                eprintln!("midband5g-top: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let mut iteration = 0u64;
+    loop {
+        if let Err(e) = refresh(&config) {
+            eprintln!("midband5g-top: {e}");
+            std::process::exit(1);
+        }
+        iteration += 1;
+        if config.iterations > 0 && iteration >= config.iterations {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(config.interval_ms));
+    }
+}
+
+/// One full redraw: snapshot header, per-metric tier tails, session log.
+fn refresh(config: &TopConfig) -> Result<(), daemon::proto::BusError> {
+    let mut out = String::with_capacity(4096);
+    let snapshot = match request_once(&config.socket, &Request::GetSnapshot)? {
+        Response::Snapshot { snapshot } => snapshot,
+        other => return Err(unexpected(&other)),
+    };
+    out.push_str("\x1b[2J\x1b[H"); // clear + home
+    out.push_str(&format!(
+        "midband5g-d  up {:>8.1}s  waves {}  sessions {}  requests {}  violations {}\n",
+        snapshot.uptime_ms as f64 / 1e3,
+        snapshot.counter("daemon.waves").unwrap_or(0),
+        snapshot.counter("daemon.sessions").unwrap_or(0),
+        snapshot.counter("daemon.requests").unwrap_or(0),
+        snapshot.total_violations,
+    ));
+    out.push_str(&format!(
+        "retained  raw {:>7}  sec-bins {:>6}  min-bins {:>5}\n\n",
+        snapshot.gauge("daemon.retained_raw").unwrap_or(0),
+        snapshot.gauge("daemon.retained_sec_bins").unwrap_or(0),
+        snapshot.gauge("daemon.retained_min_bins").unwrap_or(0),
+    ));
+
+    out.push_str(&format!("{:<10} {:>12} {:>12} {:>12}   last 10 ({:?})\n", "metric", "last", "mean", "max", config.tier));
+    for metric in daemon::store::METRICS {
+        let series = match request_once(
+            &config.socket,
+            &Request::GetSeries { metric: metric.name.to_string(), tier: config.tier, last: 120 },
+        )? {
+            Response::Series { series } => series,
+            other => return Err(unexpected(&other)),
+        };
+        let v = &series.values;
+        let (last, mean, max) = if v.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            let sum: f64 = v.iter().sum();
+            (v[v.len() - 1], sum / v.len() as f64, v.iter().copied().fold(f64::MIN, f64::max))
+        };
+        let tail: Vec<String> = v
+            .iter()
+            .rev()
+            .take(10)
+            .rev()
+            .map(|x| format!("{x:.1}"))
+            .collect();
+        out.push_str(&format!(
+            "{:<10} {:>12.2} {:>12.2} {:>12.2}   {}\n",
+            metric.name,
+            last,
+            mean,
+            max,
+            tail.join(" ")
+        ));
+    }
+
+    let sessions = match request_once(&config.socket, &Request::ListSessions)? {
+        Response::Sessions { sessions } => sessions,
+        other => return Err(unexpected(&other)),
+    };
+    out.push_str(&format!("\nsessions ({} logged, newest last)\n", sessions.len()));
+    out.push_str(&format!(
+        "{:>6} {:>5} {:<10} {:>10} {:>9} {:>9}\n",
+        "#", "wave", "operator", "seed", "records", "dl Mbps"
+    ));
+    for s in sessions.iter().rev().take(8).rev() {
+        out.push_str(&format!(
+            "{:>6} {:>5} {:<10} {:>10} {:>9} {:>9.1}\n",
+            s.index, s.wave, s.operator, s.seed, s.records, s.dl_mbps
+        ));
+    }
+    print!("{out}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    Ok(())
+}
+
+fn unexpected(r: &Response) -> daemon::proto::BusError {
+    daemon::proto::BusError::Decode { message: format!("unexpected response: {r:?}") }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<TopConfig, String> {
+    let mut config = TopConfig {
+        socket: PathBuf::from("/tmp/midband5g-d.sock"),
+        interval_ms: 1000,
+        iterations: 0,
+        tier: Tier::Seconds,
+        shutdown: false,
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--socket" => config.socket = value("--socket")?.into(),
+            "--interval-ms" => {
+                config.interval_ms = value("--interval-ms")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--interval-ms: {e}"))?
+                    .max(50)
+            }
+            "--iterations" => {
+                config.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?
+            }
+            "--tier" => {
+                config.tier = match value("--tier")?.to_ascii_lowercase().as_str() {
+                    "raw" => Tier::Raw,
+                    "seconds" | "sec" | "s" => Tier::Seconds,
+                    "minutes" | "min" | "m" => Tier::Minutes,
+                    other => return Err(format!("unknown tier {other:?}")),
+                }
+            }
+            "--shutdown" => config.shutdown = true,
+            "--help" | "-h" => {
+                return Err("usage: midband5g-top [--socket PATH] [--interval-ms N] \
+                            [--iterations N] [--tier raw|seconds|minutes] [--shutdown]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(config)
+}

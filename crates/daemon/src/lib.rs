@@ -1,0 +1,26 @@
+//! Live telemetry for the midband5g reproduction suite.
+//!
+//! The paper's measurement apps ran on phones for weeks, continuously
+//! logging lower-layer KPIs and uploading tiered summaries. This crate
+//! is the suite's equivalent: `midband5g-d` runs seeded campaigns
+//! continuously in a background thread pool, ingests every slot-level
+//! KPI through a streaming [`sink::LiveSink`], retains them in the
+//! bounded [`store::RetentionStore`] (raw slot ring → 1 s bins → 1 min
+//! bins) and answers live queries over a Unix-domain socket speaking the
+//! length-prefixed [`proto`] frames. `midband5g-top` is the matching
+//! plain-text watcher.
+//!
+//! Architecture notes live in DESIGN.md §5.8; `cargo run --bin
+//! daemon_smoke -p bench` is the gated end-to-end exercise.
+
+#![warn(missing_docs)]
+
+pub mod proto;
+pub mod server;
+pub mod sink;
+pub mod store;
+
+pub use proto::{Request, Response, Tier, WireSeries, WireSnapshot};
+pub use server::{request_once, start, DaemonConfig, DaemonHandle};
+pub use sink::LiveSink;
+pub use store::{RetentionConfig, RetentionStore};

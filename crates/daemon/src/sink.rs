@@ -1,0 +1,97 @@
+//! [`LiveSink`]: the [`SlotSink`] adapter that streams a running
+//! session's KPIs into the daemon's [`RetentionStore`].
+//!
+//! Each session worker owns one `LiveSink`. Raw samples are batched
+//! locally and flushed to the shared store every [`RAW_FLUSH_SAMPLES`]
+//! samples — the live view, interleaved across concurrent sessions in
+//! arrival order. Second-tier bins are accumulated *locally* (one
+//! `(sum, count)` per metric per second) and only merged into the store
+//! when the wave completes, in spec order — so the binned tiers are
+//! deterministic for a given campaign configuration no matter how the
+//! worker threads interleave (the same order contract
+//! `measure::executor` gives campaign results).
+
+use crate::store::{kpi_samples, RawSample, RetentionStore, SessionBins};
+use ran::kpi::SlotKpi;
+use ran::sink::SlotSink;
+use std::sync::{Arc, Mutex};
+
+/// Raw samples buffered locally before a flush to the shared ring.
+/// Small enough that the live view lags a running session by well under
+/// a second of slots, large enough that the store mutex is touched a
+/// few times per thousand records.
+pub const RAW_FLUSH_SAMPLES: usize = 4096;
+
+/// A streaming sink feeding one session into the daemon store.
+pub struct LiveSink {
+    store: Arc<Mutex<RetentionStore>>,
+    bins: SessionBins,
+    epoch_s: f64,
+    buf: Vec<RawSample>,
+    records: u64,
+    dl_bits: u64,
+    nonfinite: obs::Counter,
+}
+
+impl LiveSink {
+    /// A sink whose session starts at `epoch_s` on the daemon timeline
+    /// (must be whole seconds, so session bins land on the global grid).
+    pub fn new(store: Arc<Mutex<RetentionStore>>, epoch_s: f64) -> LiveSink {
+        LiveSink {
+            store,
+            bins: SessionBins::at_epoch(epoch_s),
+            epoch_s,
+            buf: Vec::with_capacity(RAW_FLUSH_SAMPLES),
+            records: 0,
+            dl_bits: 0,
+            nonfinite: obs::registry().counter("daemon.nonfinite_samples"),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        store.push_raw(&self.buf);
+        self.buf.clear();
+    }
+
+    /// Tear down into the locally-accumulated second bins plus session
+    /// accounting `(records pushed, DL bits delivered)`. Call after the
+    /// stream [`finish`](SlotSink::finish)ed; the wave runner commits
+    /// the bins in spec order.
+    pub fn into_parts(mut self) -> (SessionBins, u64, u64) {
+        self.flush();
+        (self.bins, self.records, self.dl_bits)
+    }
+}
+
+impl SlotSink for LiveSink {
+    fn push(&mut self, kpi: &SlotKpi) {
+        self.records += 1;
+        if kpi.direction == ran::kpi::Direction::Dl {
+            self.dl_bits += u64::from(kpi.delivered_bits);
+        }
+        let time_s = self.epoch_s + kpi.time_s;
+        let (bins, buf, nonfinite) = (&mut self.bins, &mut self.buf, self.nonfinite);
+        kpi_samples(kpi, |metric, value| {
+            // The same rule the resamplers apply: a NaN-corrupted
+            // measurement is dropped and accounted, never retained where
+            // it could poison a bin average hours later.
+            if !value.is_finite() {
+                nonfinite.inc();
+                return;
+            }
+            bins.add(metric, kpi.time_s, value);
+            buf.push(RawSample { metric: metric as u8, time_s, value });
+        });
+        if self.buf.len() >= RAW_FLUSH_SAMPLES {
+            self.flush();
+        }
+    }
+
+    fn finish(&mut self) {
+        self.flush();
+    }
+}

@@ -1,0 +1,232 @@
+//! Retention-store contract: deterministic bin edges equivalent to the
+//! `analysis::timeseries` resamplers, bounded rings, minute cascade.
+
+use analysis::timeseries::{bin_average, bin_counts, bin_sum};
+use daemon::proto::Tier;
+use daemon::store::{
+    metric_index, RawSample, RetentionConfig, RetentionStore, SessionBins, MIN_BIN_S, SEC_BIN_S,
+};
+
+fn small() -> RetentionConfig {
+    RetentionConfig { raw_capacity: 256, sec_capacity: 128, min_capacity: 16 }
+}
+
+/// Deterministic pseudo-random sample stream: value wanders, some bins
+/// end up empty (a gap mid-stream), start offset exercises leading
+/// backfill.
+fn synthetic_samples() -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    let mut x = 0x2545_f491u64;
+    for i in 0..400u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let t = 2.3 + i as f64 * 0.05;
+        if (9.0..12.0).contains(&t) {
+            continue; // three empty seconds mid-stream
+        }
+        let v = 10.0 + (x % 1000) as f64 / 100.0;
+        out.push((t, v));
+    }
+    out
+}
+
+/// The store's second tier must agree bin-for-bin with `bin_average`
+/// over the identical sample stream (Average metrics), including
+/// sample-and-hold across the mid-stream gap and leading backfill.
+#[test]
+fn second_tier_matches_bin_average() {
+    let samples = synthetic_samples();
+    let duration_s = samples.last().expect("samples").0 + 0.05;
+    let mut store = RetentionStore::new(RetentionConfig::default());
+    let metric = metric_index("sinr_db").expect("known metric");
+
+    let mut bins = SessionBins::at_epoch(0.0);
+    for &(t, v) in &samples {
+        bins.add(metric, t, v);
+    }
+    store.commit_bins(&bins);
+
+    let reference = bin_average(&samples, SEC_BIN_S, duration_s);
+    let counts = bin_counts(&samples, SEC_BIN_S, duration_s);
+    let series = store.series(metric, Tier::Seconds, 0);
+    assert_eq!(series.bin_s, SEC_BIN_S);
+    // The store's grid starts at the first populated bin; bin_average's
+    // starts at 0 with backfill. Compare the overlap.
+    let offset = series.start_bin as usize;
+    assert_eq!(series.values.len(), reference.values.len() - offset);
+    for (i, (&got, &want)) in
+        series.values.iter().zip(&reference.values[offset..]).enumerate()
+    {
+        assert!(
+            (got - want).abs() < 1e-9,
+            "bin {i}: store {got} != bin_average {want}"
+        );
+    }
+    assert_eq!(series.counts[..], counts[offset..]);
+}
+
+/// Rate metrics must agree with `bin_sum`: store values are
+/// `sum / bin_s / 1e6` of the same per-bin sums.
+#[test]
+fn second_tier_matches_bin_sum_for_rates() {
+    let samples: Vec<(f64, f64)> = (0..300)
+        .map(|i| (i as f64 * 0.02, 12_000.0 + (i % 17) as f64 * 500.0))
+        .collect();
+    let duration_s = 6.0;
+    let mut store = RetentionStore::new(RetentionConfig::default());
+    let metric = metric_index("dl_mbps").expect("known metric");
+
+    let mut bins = SessionBins::at_epoch(0.0);
+    for &(t, v) in &samples {
+        bins.add(metric, t, v);
+    }
+    store.commit_bins(&bins);
+
+    let reference = bin_sum(&samples, SEC_BIN_S, duration_s);
+    let series = store.series(metric, Tier::Seconds, 0);
+    assert_eq!(series.start_bin, 0);
+    assert_eq!(series.values.len(), reference.values.len());
+    for (got, want) in series.values.iter().zip(&reference.values) {
+        assert!((got * SEC_BIN_S * 1e6 - want).abs() < 1e-6, "{got} vs {want}");
+    }
+}
+
+/// Sample order within a session must not matter structurally (carriers
+/// interleave): shuffled pushes land every sample in the same bin with
+/// the same count, and sums agree to float-summation tolerance. (A real
+/// session's emission order is itself deterministic, so the daemon's
+/// tiers are bit-stable; this guards the bin *placement* logic.)
+#[test]
+fn commit_is_order_insensitive_within_a_session() {
+    let samples = synthetic_samples();
+    let metric = metric_index("cqi").expect("known metric");
+
+    let mut forward = SessionBins::at_epoch(60.0);
+    for &(t, v) in &samples {
+        forward.add(metric, t, v);
+    }
+    let mut interleaved = SessionBins::at_epoch(60.0);
+    // Two interleaved "carriers": evens then odds per pair, plus a
+    // block-reversed tail to force mid-vector inserts.
+    let (head, tail) = samples.split_at(samples.len() / 2);
+    for pair in head.chunks(2) {
+        for &(t, v) in pair.iter().rev() {
+            interleaved.add(metric, t, v);
+        }
+    }
+    for &(t, v) in tail {
+        interleaved.add(metric, t, v);
+    }
+    assert_eq!(forward.offset_bin, interleaved.offset_bin);
+    let (a, b) = (&forward.bins[metric], &interleaved.bins[metric]);
+    assert_eq!(a.len(), b.len());
+    for (&(bin_a, sum_a, n_a), &(bin_b, sum_b, n_b)) in a.iter().zip(b) {
+        assert_eq!((bin_a, n_a), (bin_b, n_b));
+        assert!((sum_a - sum_b).abs() < 1e-9 * sum_a.abs().max(1.0), "{sum_a} vs {sum_b}");
+    }
+}
+
+/// Every tier is a bounded ring: overfeeding evicts the oldest, and the
+/// retention gauges report the capped occupancy.
+#[test]
+fn rings_stay_bounded_and_gauges_track_occupancy() {
+    let config = small();
+    let mut store = RetentionStore::new(config);
+    let metric = metric_index("rsrp_dbm").expect("known metric");
+
+    // 4x the raw capacity.
+    let batch: Vec<RawSample> = (0..(config.raw_capacity * 4))
+        .map(|i| RawSample { metric: metric as u8, time_s: i as f64 * 0.01, value: -80.0 })
+        .collect();
+    store.push_raw(&batch);
+    assert_eq!(store.raw_len(), config.raw_capacity);
+    // Newest survive.
+    let series = store.series(metric, Tier::Raw, 0);
+    assert_eq!(series.values.len(), config.raw_capacity);
+    let first_kept = (config.raw_capacity * 3) as f64 * 0.01;
+    assert!((series.times[0] - first_kept).abs() < 1e-9);
+
+    // 3x the sec capacity, committed in consecutive waves.
+    for wave in 0..3u64 {
+        let mut bins = SessionBins::at_epoch((wave * config.sec_capacity as u64 * 2) as f64);
+        for s in 0..(config.sec_capacity as u64) {
+            bins.add(metric, s as f64 + 0.5, -85.0);
+        }
+        store.commit_bins(&bins);
+    }
+    assert_eq!(store.bins_len(Tier::Seconds), config.sec_capacity);
+    assert!(store.bins_len(Tier::Minutes) <= config.min_capacity);
+
+    // The retention gauges are process-global and other tests in this
+    // binary run stores concurrently, so only existence and sanity are
+    // asserted here; the *exact* gauge-vs-capacity bound is checked in
+    // the single-daemon `daemon_smoke` gating run.
+    let snap = obs::snapshot();
+    for gauge in ["daemon.retained_raw", "daemon.retained_sec_bins", "daemon.retained_min_bins"] {
+        let v = snap.gauge(gauge).expect("retention gauge registered");
+        assert!(v >= 0, "{gauge} went negative: {v}");
+    }
+}
+
+/// Minute bins are the exact aggregation of their second bins: same
+/// total sum and count, 60:1 edge alignment.
+#[test]
+fn minute_tier_is_the_cascade_of_second_bins() {
+    let mut store = RetentionStore::new(RetentionConfig::default());
+    let metric = metric_index("sinr_db").expect("known metric");
+    let mut bins = SessionBins::at_epoch(0.0);
+    // 3 minutes of samples, 4 per second, value = second index.
+    for s in 0..180u64 {
+        for k in 0..4 {
+            bins.add(metric, s as f64 + k as f64 * 0.25, s as f64);
+        }
+    }
+    store.commit_bins(&bins);
+
+    let sec = store.series(metric, Tier::Seconds, 0);
+    let min = store.series(metric, Tier::Minutes, 0);
+    assert_eq!(min.bin_s, MIN_BIN_S);
+    assert_eq!(sec.values.len(), 180);
+    assert_eq!(min.values.len(), 3);
+    assert_eq!(min.counts.iter().sum::<u64>(), sec.counts.iter().sum::<u64>());
+    // Mean of minute 1 = mean of seconds 60..119 = 89.5.
+    assert!((min.values[1] - 89.5).abs() < 1e-9);
+}
+
+/// `last` returns the newest window, raw and binned.
+#[test]
+fn last_window_is_newest_last() {
+    let mut store = RetentionStore::new(RetentionConfig::default());
+    let metric = metric_index("cqi").expect("known metric");
+    let mut bins = SessionBins::at_epoch(0.0);
+    for s in 0..50u64 {
+        bins.add(metric, s as f64, s as f64);
+    }
+    store.commit_bins(&bins);
+    let window = store.series(metric, Tier::Seconds, 10);
+    assert_eq!(window.start_bin, 40);
+    assert_eq!(window.values, (40..50).map(|s| s as f64).collect::<Vec<_>>());
+
+    store.push_raw(
+        &(0..20)
+            .map(|i| RawSample { metric: metric as u8, time_s: i as f64, value: i as f64 })
+            .collect::<Vec<_>>(),
+    );
+    let raw = store.series(metric, Tier::Raw, 5);
+    assert_eq!(raw.values, vec![15.0, 16.0, 17.0, 18.0, 19.0]);
+}
+
+/// Non-finite samples never enter a session's bins (the daemon-side
+/// mirror of the resamplers' non-finite-value rule).
+#[test]
+fn session_bins_drop_nonfinite_samples() {
+    let metric = metric_index("sinr_db").expect("known metric");
+    let mut bins = SessionBins::at_epoch(0.0);
+    bins.add(metric, 0.25, 20.0);
+    bins.add(metric, 0.5, f64::NAN);
+    bins.add(metric, 0.75, f64::INFINITY);
+    bins.add(metric, f64::NAN, 21.0);
+    bins.add(metric, -1.0, 21.0);
+    assert_eq!(bins.bins[metric], vec![(0, 20.0, 1)]);
+}

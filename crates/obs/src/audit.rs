@@ -50,10 +50,16 @@ pub enum Invariant {
     /// The per-UE PRB grants of one cell slot summed to more than the
     /// cell's RB budget (the loaded-cell scheduler's conservation law).
     RbBudgetConserved = 9,
+    /// A resampler was asked for a degenerate grid: non-finite or
+    /// non-positive bin width, non-finite duration, or a `duration/bin`
+    /// ratio that overflows — any of which would have saturated the bin
+    /// count to `usize::MAX` and aborted on allocation. The resampler
+    /// returns an empty series instead and counts the refusal here.
+    ResampleGridDegenerate = 10,
 }
 
 /// Every invariant, in counter order.
-pub const INVARIANTS: [Invariant; 10] = [
+pub const INVARIANTS: [Invariant; 11] = [
     Invariant::DeliveredWithinTbs,
     Invariant::RbWithinCarrier,
     Invariant::CqiRange,
@@ -64,6 +70,7 @@ pub const INVARIANTS: [Invariant; 10] = [
     Invariant::WorkerPanic,
     Invariant::ExecutorAbandoned,
     Invariant::RbBudgetConserved,
+    Invariant::ResampleGridDegenerate,
 ];
 
 impl Invariant {
@@ -80,6 +87,7 @@ impl Invariant {
             Invariant::WorkerPanic => "worker_panic",
             Invariant::ExecutorAbandoned => "executor_abandoned",
             Invariant::RbBudgetConserved => "rb_budget_conserved",
+            Invariant::ResampleGridDegenerate => "resample_grid_degenerate",
         }
     }
 
@@ -93,6 +101,7 @@ impl Invariant {
 }
 
 static VIOLATIONS: [AtomicU64; INVARIANTS.len()] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

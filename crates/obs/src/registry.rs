@@ -96,6 +96,14 @@ pub struct Histogram(&'static HistogramCore);
 
 impl Histogram {
     /// Record one observation.
+    ///
+    /// Ordering contract with [`Registry::snapshot`]: `count` and `sum`
+    /// are incremented *before* the bucket, and the bucket add is a
+    /// `Release` paired with the snapshot's `Acquire` bucket loads. A
+    /// concurrent snapshot that observes a bucket increment therefore
+    /// also observes its `count`/`sum` increments — a snapshot may
+    /// report `count` *above* the bucket totals (increments still in
+    /// flight) but never below them.
     #[inline]
     pub fn record(&self, value: u64) {
         let core = self.0;
@@ -104,9 +112,9 @@ impl Histogram {
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(core.bounds.len());
-        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
         core.count.fetch_add(1, Ordering::Relaxed);
         core.sum.fetch_add(value, Ordering::Relaxed);
+        core.buckets[idx].fetch_add(1, Ordering::Release);
     }
 
     /// Record a duration as nanoseconds (saturating at `u64::MAX`).
@@ -304,6 +312,17 @@ impl Registry {
     }
 
     /// Copy out every metric, sorted by name.
+    ///
+    /// Safe to call concurrently with workers updating metrics (the
+    /// daemon publishes snapshots from a tick thread while campaign
+    /// workers increment): each value is one atomic load, counters and
+    /// histogram `count`/`sum` are monotone across consecutive
+    /// snapshots, and a histogram's `count`/`sum` never tear *below*
+    /// its bucket totals — buckets are loaded with `Acquire` before
+    /// `count`/`sum`, pairing with the `Release` bucket add in
+    /// [`Histogram::record`] (`tests/concurrent_snapshot.rs`). Relaxed
+    /// skew the other way (a `count` ahead of the buckets) is expected
+    /// under concurrency.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let mut snap = MetricsSnapshot {
@@ -321,18 +340,23 @@ impl Registry {
                     snap.gauges.push((e.name.to_string(), g.load(Ordering::Relaxed)));
                 }
                 Metric::Histogram { core, is_span } => {
-                    let buckets = core
+                    // Buckets first, with Acquire (see the snapshot doc
+                    // comment): any bucket increment seen here makes the
+                    // matching count/sum increments visible to the loads
+                    // below.
+                    let buckets: Vec<(u64, u64)> = core
                         .bounds
                         .iter()
                         .zip(&core.buckets)
-                        .map(|(&le, c)| (le, c.load(Ordering::Relaxed)))
+                        .map(|(&le, c)| (le, c.load(Ordering::Acquire)))
                         .collect();
+                    let overflow = core.buckets[core.bounds.len()].load(Ordering::Acquire);
                     let h = HistogramSnapshot {
                         name: e.name.to_string(),
                         count: core.count.load(Ordering::Relaxed),
                         sum: core.sum.load(Ordering::Relaxed),
                         buckets,
-                        overflow: core.buckets[core.bounds.len()].load(Ordering::Relaxed),
+                        overflow,
                     };
                     if *is_span {
                         snap.spans.push(h);
